@@ -1,0 +1,172 @@
+// Package paper benchmarks regenerate every table and figure of the
+// paper's evaluation (one Benchmark per artifact, logging the reproduced
+// rows) and measure the throughput of the simulation substrate itself.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package paper
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/experiments"
+	"polca/internal/gpu"
+	"polca/internal/llm"
+	"polca/internal/plan"
+	"polca/internal/polca"
+	"polca/internal/sim"
+	"polca/internal/trace"
+)
+
+// benchExperiment regenerates one paper artifact per iteration and logs its
+// rows on the first.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := experiments.QuickOptions()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1) // defeat the simulation cache
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s: %s\n%s", res.ID, res.Title, res.Text)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "tab1") }
+func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "tab2") }
+func BenchmarkTable3(b *testing.B)    { benchExperiment(b, "tab3") }
+func BenchmarkTable4(b *testing.B)    { benchExperiment(b, "tab4") }
+func BenchmarkTable5(b *testing.B)    { benchExperiment(b, "tab5") }
+func BenchmarkTable6(b *testing.B)    { benchExperiment(b, "tab6") }
+func BenchmarkFigure3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkTraceFit(b *testing.B)  { benchExperiment(b, "fit") }
+func BenchmarkFigure13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFigure15a(b *testing.B) { benchExperiment(b, "fig15a") }
+func BenchmarkFigure15b(b *testing.B) { benchExperiment(b, "fig15b") }
+func BenchmarkFigure16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFigure17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFigure18(b *testing.B)  { benchExperiment(b, "fig18") }
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkEngineEvents measures raw discrete-event dispatch throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.New(1)
+	var tick func(sim.Time)
+	n := 0
+	tick = func(now sim.Time) {
+		n++
+		if n < b.N {
+			eng.After(time.Millisecond, tick)
+		}
+	}
+	eng.After(time.Millisecond, tick)
+	b.ResetTimer()
+	eng.Run()
+	if n != b.N {
+		b.Fatalf("dispatched %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkGPUPhase measures the analytical GPU model.
+func BenchmarkGPUPhase(b *testing.B) {
+	dev := gpu.NewDevice(gpu.A100SXM80GB())
+	p, err := plan.NewInference(plan.InferenceConfig{
+		Model: llm.MustByName("BLOOM-176B"), DType: llm.FP16,
+		BatchSize: 1, InputTokens: 2048, OutputTokens: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := dev.Run(p.Prompt)
+		if e.Duration <= 0 {
+			b.Fatal("empty execution")
+		}
+	}
+}
+
+// BenchmarkInferencePlan measures plan construction (done once per request
+// in the cluster simulator).
+func BenchmarkInferencePlan(b *testing.B) {
+	m := llm.MustByName("BLOOM-176B")
+	for i := 0; i < b.N; i++ {
+		_, err := plan.NewInference(plan.InferenceConfig{
+			Model: m, DType: llm.FP16, BatchSize: 1,
+			InputTokens: 1024 + i%1024, OutputTokens: 128,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRowHour measures end-to-end cluster simulation speed and reports
+// simulated-seconds per wall-second.
+func BenchmarkRowHour(b *testing.B) {
+	cfg := cluster.Production()
+	cfg.BaseServers = 40
+	shape := cfg.Shape()
+	rate := 0.6 * float64(cfg.Servers()) / shape.MeanServiceSec
+	rates := make([]float64, 60)
+	for i := range rates {
+		rates[i] = rate
+	}
+	arrPlan := trace.RatePlan{Bucket: time.Minute, Rates: rates, Shape: 32}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New(int64(i + 1))
+		row := cluster.NewRow(eng, cfg, polca.New(polca.DefaultConfig()))
+		m := row.Run(arrPlan)
+		if m.Util.Len() == 0 {
+			b.Fatal("no telemetry")
+		}
+	}
+	wall := time.Since(start).Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(b.N)*3600/wall, "sim_s/wall_s")
+	}
+}
+
+// BenchmarkTrainingRowHour measures the training-cluster simulator.
+func BenchmarkTrainingRowHour(b *testing.B) {
+	cfg := cluster.ProductionTraining()
+	for i := 0; i < b.N; i++ {
+		util, err := cluster.SimulateTraining(cfg, time.Hour, rand.New(rand.NewSource(int64(i+1))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if util.Len() == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkReferenceTrace measures synthetic trace generation.
+func BenchmarkReferenceTrace(b *testing.B) {
+	m := trace.ProductionInference()
+	for i := 0; i < b.N; i++ {
+		ref := m.Reference(24*time.Hour, rand.New(rand.NewSource(int64(i+1))))
+		if ref.Len() == 0 {
+			b.Fatal("empty reference")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command polca-experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	polca-experiments [-quick] [-seed N] [-eval-days N] [-sweep-days N]
+//	                  [-servers N] [-only id1,id2] [-list]
+//
+// Without -only it runs every registered experiment in paper order and
+// prints the reproduced rows. -quick scales horizons down for a fast pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"polca/internal/experiments"
+	"polca/internal/insights"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run scaled-down experiments")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	evalDays := flag.Int("eval-days", 0, "evaluation horizon in days (default 35, paper's five weeks)")
+	sweepDays := flag.Int("sweep-days", 0, "sweep horizon in days (default 7, paper's one week)")
+	servers := flag.Int("servers", 0, "base row size (default 40)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	checkInsights := flag.Bool("insights", false, "verify the paper's nine insights and exit")
+	outDir := flag.String("out", "", "also write each experiment's data as JSON into this directory")
+	flag.Parse()
+
+	if *checkInsights {
+		checks, err := insights.VerifyAll(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Print(insights.Render(checks))
+		if !insights.AllHold(checks) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-8s %s\n", id, title)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	opts.Seed = *seed
+	if *evalDays > 0 {
+		opts.EvalDays = *evalDays
+	}
+	if *sweepDays > 0 {
+		opts.SweepDays = *sweepDays
+	}
+	if *servers > 0 {
+		opts.RowServers = *servers
+	}
+
+	if *only == "" {
+		results, err := experiments.RunAll(opts, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := exportAll(*outDir, results); err != nil {
+			fmt.Fprintln(os.Stderr, "export:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var results []experiments.Result
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(id)
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s ==\n%s\n", res.ID, res.Title, res.Text)
+		results = append(results, res)
+	}
+	if err := exportAll(*outDir, results); err != nil {
+		fmt.Fprintln(os.Stderr, "export:", err)
+		os.Exit(1)
+	}
+}
+
+// exportAll writes each result's structured data as JSON plus the rendered
+// text, one pair of files per experiment.
+func exportAll(dir string, results []experiments.Result) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, res := range results {
+		blob, err := json.MarshalIndent(map[string]any{
+			"id":    res.ID,
+			"title": res.Title,
+			"data":  res.Data,
+		}, "", "  ")
+		if err != nil {
+			return fmt.Errorf("%s: %w", res.ID, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, res.ID+".json"), blob, 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, res.ID+".txt"), []byte(res.Text), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

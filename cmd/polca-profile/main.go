@@ -1,0 +1,178 @@
+// Command polca-profile reproduces the paper's server-level power
+// characterization interactively: power timeseries for inference and
+// training workloads (rendered as ASCII traces), configuration sweeps, and
+// the counter-correlation analysis.
+//
+// Usage:
+//
+//	polca-profile -mode inference -model BLOOM-176B [-input 2048]
+//	              [-output 256] [-batch 1] [-lock 1110] [-cap 325]
+//	polca-profile -mode training -model GPT-NeoX-20B [-lock 1100] [-cap 325]
+//	polca-profile -mode sweep -model BLOOM-176B
+//	polca-profile -mode correlate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"polca/internal/gpu"
+	"polca/internal/llm"
+	"polca/internal/plan"
+	"polca/internal/profiler"
+	"polca/internal/stats"
+)
+
+func main() {
+	mode := flag.String("mode", "inference", "inference, training, sweep, or correlate")
+	model := flag.String("model", "BLOOM-176B", "model name (see Table 3)")
+	input := flag.Int("input", 2048, "prompt tokens")
+	output := flag.Int("output", 256, "output tokens")
+	batch := flag.Int("batch", 1, "batch size")
+	lock := flag.Float64("lock", 0, "SM clock lock in MHz (0 = unlocked)")
+	capW := flag.Float64("cap", 0, "power cap in watts (0 = TDP)")
+	requests := flag.Int("requests", 3, "requests to profile (inference mode)")
+	flag.Parse()
+
+	knob := profiler.Knob{LockClockMHz: *lock, PowerCapWatts: *capW}
+	switch *mode {
+	case "inference":
+		runInference(*model, *batch, *input, *output, knob, *requests)
+	case "training":
+		runTraining(*model, knob)
+	case "sweep":
+		runSweep(*model, *batch, *input, *output)
+	case "correlate":
+		runCorrelate(*model, *input)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func mustModel(name string) llm.Model {
+	m, err := llm.ByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return m
+}
+
+// sparkline renders a series as an ASCII trace normalized to [lo, hi].
+func sparkline(s stats.Series, lo, hi float64, width int) string {
+	if s.Len() == 0 {
+		return "(empty)"
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	step := s.Len() / width
+	if step < 1 {
+		step = 1
+	}
+	var b strings.Builder
+	for i := 0; i < s.Len(); i += step {
+		end := i + step
+		if end > s.Len() {
+			end = s.Len()
+		}
+		v := stats.Max(s.Values[i:end])
+		frac := (v - lo) / (hi - lo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		b.WriteRune(glyphs[int(frac*float64(len(glyphs)-1)+0.5)])
+	}
+	return b.String()
+}
+
+func runInference(name string, batch, input, output int, knob profiler.Knob, requests int) {
+	m := mustModel(name)
+	cfg := plan.InferenceConfig{Model: m, DType: llm.FP16, BatchSize: batch, InputTokens: input, OutputTokens: output}
+	run, err := profiler.RunInference(cfg, knob, 1, requests, 500*time.Millisecond)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tdp := run.Spec.TDPWatts
+	s := run.PowerSeries()
+	fmt.Printf("%s inference (batch=%d input=%d output=%d, %s) on %s\n",
+		m.Name, batch, input, output, knob, run.Spec.Name)
+	fmt.Printf("power trace (%d x 100ms samples, %.0f-%.0f W):\n  %s\n",
+		s.Len(), stats.Min(s.Values), s.Peak(), sparkline(s, 0.5*tdp, 1.15*tdp, 100))
+	fmt.Printf("peak %.2f TDP, mean %.2f TDP, mean latency %.2fs\n",
+		s.Peak()/tdp, s.Mean()/tdp, run.MeanLatency().Seconds())
+	for _, sp := range run.Spans {
+		if sp.Request == 0 {
+			fmt.Printf("  request 0 %s phase: %.2fs\n", sp.Name, (sp.To - sp.From).Seconds())
+		}
+	}
+}
+
+func runTraining(name string, knob profiler.Knob) {
+	var cfg plan.TrainingConfig
+	found := false
+	for _, c := range plan.TrainingProfiles() {
+		if c.Model.Name == name {
+			cfg, found = c, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "no training profile for %q (have RoBERTa-355M, GPT-NeoX-20B, Flan-T5-XXL-11B)\n", name)
+		os.Exit(2)
+	}
+	run, err := profiler.RunTraining(cfg, knob, 5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tdp := run.Spec.TDPWatts
+	s := run.Timeline.SampleInstant(profiler.DCGMInterval, func(c gpu.Counters) float64 { return c.PowerWatts })
+	fmt.Printf("%s fine-tuning (%s) on %s, 5 iterations\n", name, knob, run.Spec.Name)
+	fmt.Printf("power trace:\n  %s\n", sparkline(s, 0, 1.15*tdp, 100))
+	fmt.Printf("sustained peak %.2f TDP, sync trough %.2f TDP, %.2fs per iteration\n",
+		run.PeakWatts/tdp, run.TroughWatts/tdp, run.IterSeconds)
+}
+
+func runSweep(name string, batch, input, output int) {
+	m := mustModel(name)
+	cfg := plan.InferenceConfig{Model: m, DType: llm.FP16, BatchSize: batch, InputTokens: input, OutputTokens: output}
+	clocks := []float64{1410, 1350, 1300, 1250, 1200, 1150, 1100}
+	pts, err := profiler.FrequencySweep(cfg, clocks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s frequency sweep (batch=%d input=%d output=%d):\n", m.Name, batch, input, output)
+	fmt.Printf("%10s %22s %16s\n", "SM MHz", "peak power reduction", "perf reduction")
+	for _, p := range pts {
+		fmt.Printf("%10.0f %21.1f%% %15.1f%%\n", p.Knob.LockClockMHz, p.PeakPowerReduction*100, p.PerfReduction*100)
+	}
+}
+
+func runCorrelate(name string, input int) {
+	m := mustModel(name)
+	cfg := plan.InferenceConfig{Model: m, DType: llm.FP16, BatchSize: 1, InputTokens: input, OutputTokens: 64}
+	prompt, token, err := profiler.CounterCorrelations(cfg, 3, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	show := func(label string, mx profiler.CorrMatrix) {
+		fmt.Printf("%s phase — correlation of power with:\n", label)
+		for i, l := range mx.Labels {
+			if l == "power" {
+				continue
+			}
+			fmt.Printf("  %-16s %+0.2f\n", l, mx.R[0][i])
+		}
+	}
+	fmt.Printf("%s counter correlations (Figure 7 methodology)\n", m.Name)
+	show("prompt", prompt)
+	show("token", token)
+}

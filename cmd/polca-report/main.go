@@ -1,0 +1,76 @@
+// Command polca-report assembles the artifacts exported by
+// `polca-experiments -out <dir>` into a single markdown report, in paper
+// order, with each experiment's rendered tables and charts in fenced
+// blocks.
+//
+// Usage:
+//
+//	polca-report [-in results] [-o REPORT.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"polca/internal/experiments"
+)
+
+func main() {
+	in := flag.String("in", "results", "directory written by polca-experiments -out")
+	out := flag.String("o", "REPORT.md", "output markdown file ('-' for stdout)")
+	flag.Parse()
+
+	report, missing, err := build(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d experiment(s) not found in %s: %s\n",
+			len(missing), *in, strings.Join(missing, ", "))
+	}
+	if *out == "-" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("report written to %s\n", *out)
+}
+
+// build assembles the report and returns the experiments that had no
+// exported artifact.
+func build(dir string) (string, []string, error) {
+	var b strings.Builder
+	var missing []string
+	fmt.Fprintf(&b, "# Reproduced artifacts\n\n")
+	fmt.Fprintf(&b, "Assembled from `%s` on %s. Regenerate with "+
+		"`polca-experiments -out %s && polca-report -in %s`.\n\n",
+		dir, time.Now().UTC().Format("2006-01-02"), dir, dir)
+
+	found := 0
+	for _, id := range experiments.IDs() {
+		title, err := experiments.Title(id)
+		if err != nil {
+			return "", nil, err
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, id+".txt"))
+		if err != nil {
+			missing = append(missing, id)
+			continue
+		}
+		found++
+		fmt.Fprintf(&b, "## %s\n\n", title)
+		fmt.Fprintf(&b, "```\n%s\n```\n\n", strings.TrimRight(string(blob), "\n"))
+	}
+	if found == 0 {
+		return "", missing, fmt.Errorf("no exported artifacts in %s (run polca-experiments -out %s first)", dir, dir)
+	}
+	return b.String(), missing, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildAssemblesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fig4.txt"), []byte("FIG4 ROWS"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tab4.txt"), []byte("TAB4 ROWS"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, missing, err := build(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "FIG4 ROWS") || !strings.Contains(report, "TAB4 ROWS") {
+		t.Error("report missing artifact bodies")
+	}
+	if !strings.Contains(report, "## Figure 4") || !strings.Contains(report, "## Table 4") {
+		t.Errorf("report missing titles:\n%s", report[:200])
+	}
+	// Figure 4 must appear before Table 4 (registry order).
+	if strings.Index(report, "FIG4 ROWS") > strings.Index(report, "TAB4 ROWS") {
+		t.Error("artifacts out of paper order")
+	}
+	if len(missing) == 0 {
+		t.Error("unexported experiments should be reported missing")
+	}
+	for _, id := range missing {
+		if id == "fig4" || id == "tab4" {
+			t.Errorf("%s reported missing despite existing", id)
+		}
+	}
+}
+
+func TestBuildEmptyDir(t *testing.T) {
+	if _, _, err := build(t.TempDir()); err == nil {
+		t.Error("want error for a directory with no artifacts")
+	}
+}

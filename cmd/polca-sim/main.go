@@ -1,0 +1,157 @@
+// Command polca-sim runs one inference-row power-oversubscription
+// simulation and reports utilization, latency, throughput, and power-brake
+// outcomes.
+//
+// Usage:
+//
+//	polca-sim [-policy polca|1tl|1ta|nocap] [-added 0.30] [-days 7]
+//	          [-servers 40] [-intensity 1.0] [-lp 0.5] [-seed 1]
+//	          [-t1 0.80] [-t2 0.89] [-csv out.csv]
+//
+// The -csv flag additionally writes the 2 s row-utilization series.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/polca"
+	"polca/internal/sim"
+	"polca/internal/stats"
+	"polca/internal/trace"
+	"polca/internal/workload"
+)
+
+func main() {
+	policy := flag.String("policy", "polca", "power policy: polca, 1tl, 1ta, nocap")
+	added := flag.Float64("added", 0.30, "oversubscription fraction (0.30 = 30% more servers)")
+	days := flag.Int("days", 7, "simulated days")
+	servers := flag.Int("servers", 40, "base row size")
+	intensity := flag.Float64("intensity", 1.0, "workload power intensity factor")
+	lpFrac := flag.Float64("lp", 0.5, "low-priority server fraction")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	t1 := flag.Float64("t1", 0.80, "POLCA T1 threshold")
+	t2 := flag.Float64("t2", 0.89, "POLCA T2 threshold")
+	csvPath := flag.String("csv", "", "write the utilization series to this CSV file")
+	retrain := flag.Bool("retrain", false, "print a threshold retraining recommendation after the run")
+	replay := flag.String("replay", "", "replay a request trace CSV (from polca-trace -requests) instead of generating arrivals")
+	flag.Parse()
+
+	cfg := cluster.Production()
+	cfg.BaseServers = *servers
+	cfg.AddedFraction = *added
+	cfg.PowerIntensity = *intensity
+	cfg.LowPriorityFraction = *lpFrac
+	cfg.Seed = *seed
+
+	var ctrl cluster.Controller
+	switch *policy {
+	case "polca":
+		pc := polca.DefaultConfig()
+		pc.T1, pc.T2 = *t1, *t2
+		ctrl = polca.New(pc)
+	case "1tl":
+		ctrl = polca.NewSingleThresholdLowPri()
+	case "1ta":
+		ctrl = polca.NewSingleThresholdAll()
+	case "nocap":
+		ctrl = polca.NoCap{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	fitCfg := cfg
+	fitCfg.PowerIntensity = 1
+	horizon := time.Duration(*days) * 24 * time.Hour
+	eng := sim.New(*seed)
+
+	fmt.Printf("Simulating %d days: %d servers (%d base, +%.0f%%), policy %s, intensity %.2f\n",
+		*days, cfg.Servers(), cfg.BaseServers, *added*100, ctrl.Name(), *intensity)
+	start := time.Now()
+	row := cluster.NewRow(eng, cfg, ctrl)
+	var m *cluster.Metrics
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		reqs, err := cluster.LoadRequestsCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Replaying %d requests from %s\n", len(reqs), *replay)
+		m = row.RunRequests(reqs, horizon)
+	} else {
+		ref := trace.ProductionInference().Reference(horizon, eng.Rand("reference"))
+		plan, err := trace.FitArrivals(ref, fitCfg.Shape(), 5*time.Minute)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		m = row.Run(plan.Scale(1 + *added))
+	}
+	fmt.Printf("Done in %.1fs (%d requests served)\n\n", time.Since(start).Seconds(),
+		m.Completed[workload.Low]+m.Completed[workload.High])
+
+	fmt.Printf("Row budget: %.0f kW (provisioned for %d servers)\n", m.Provisioned/1000, cfg.BaseServers)
+	fmt.Printf("Utilization: mean %.1f%%, peak %.1f%%, max 2s rise %.1f%%, max 40s rise %.1f%%\n",
+		m.Util.Mean()*100, m.Util.Peak()*100,
+		m.Util.MaxRise(2*time.Second)*100, m.Util.MaxRise(40*time.Second)*100)
+	fmt.Printf("Power brakes: %d; OOB commands: %d (%d silent failures)\n\n",
+		m.BrakeEvents, m.LockCommands, m.FailedCommands)
+
+	fmt.Printf("%-10s %10s %10s %10s %10s %10s %10s\n", "Priority", "served", "dropped", "p50 (s)", "p99 (s)", "max (s)", "req/srv/h")
+	for _, pri := range []workload.Priority{workload.Low, workload.High} {
+		lat := m.LatencySec[pri]
+		poolN := row.PoolSize(pri)
+		fmt.Printf("%-10s %10d %10d %10.1f %10.1f %10.1f %10.1f\n",
+			pri, m.Completed[pri], m.Dropped[pri],
+			stats.Percentile(lat, 50), stats.Percentile(lat, 99), stats.Percentile(lat, 100),
+			m.Throughput(pri, poolN)*3600)
+	}
+
+	if *retrain {
+		base := polca.DefaultConfig()
+		base.T1, base.T2 = *t1, *t2
+		rec := polca.RetrainFromMetrics(base, m)
+		fmt.Printf("\nThreshold retraining (from this run's power trace and capping history):\n%s", rec.Describe())
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, m.Util); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nUtilization series written to %s\n", *csvPath)
+	}
+}
+
+func writeCSV(path string, s stats.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"seconds", "utilization"}); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		if err := w.Write([]string{
+			fmt.Sprintf("%.0f", s.TimeAt(i).Seconds()),
+			fmt.Sprintf("%.5f", v),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

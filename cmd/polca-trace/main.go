@@ -1,0 +1,142 @@
+// Command polca-trace generates the synthetic production trace the POLCA
+// evaluation runs on (§6.4): a diurnal reference power-utilization series,
+// the fitted request-arrival plan, and the MAPE validation between them.
+//
+// Usage:
+//
+//	polca-trace [-days 7] [-seed 1] [-servers 40] [-bucket 5m]
+//	            [-csv trace.csv] [-arrivals arrivals.csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/polca"
+	"polca/internal/stats"
+	"polca/internal/trace"
+)
+
+func main() {
+	days := flag.Int("days", 7, "trace length in days")
+	seed := flag.Int64("seed", 1, "generation seed")
+	servers := flag.Int("servers", 40, "row size the trace is fitted for")
+	bucket := flag.Duration("bucket", 5*time.Minute, "arrival-rate bucket size")
+	csvPath := flag.String("csv", "", "write the reference utilization series to CSV")
+	arrPath := flag.String("arrivals", "", "write sampled request arrival times to CSV")
+	reqPath := flag.String("requests", "", "write a full synthetic request trace (arrival, class, priority, sizes) to CSV")
+	flag.Parse()
+
+	model := trace.ProductionInference()
+	horizon := time.Duration(*days) * 24 * time.Hour
+	ref := model.Reference(horizon, rand.New(rand.NewSource(*seed)))
+
+	cfg := cluster.Production()
+	cfg.BaseServers = *servers
+	shape := cfg.Shape()
+	plan, err := trace.FitArrivals(ref, shape, *bucket)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fit:", err)
+		os.Exit(1)
+	}
+	mape, err := trace.ValidateFit(ref, plan, shape)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Reference trace: %d days at %v (%d samples)\n", *days, model.Step, ref.Len())
+	fmt.Printf("  mean %.1f%%, peak %.1f%%, max 2s rise %.1f%%, max 40s rise %.1f%%\n",
+		ref.Mean()*100, ref.Peak()*100, ref.MaxRise(2*time.Second)*100, ref.MaxRise(40*time.Second)*100)
+	fmt.Printf("Cluster shape: %d servers, %.0f kW budget, busy %.2f kW, idle %.2f kW, mean service %.1fs\n",
+		shape.Servers, shape.ProvisionedWatts/1000, shape.BusyServerWatts/1000,
+		shape.IdleServerWatts/1000, shape.MeanServiceSec)
+	fmt.Printf("Fitted arrival plan: %d buckets of %v; MAPE vs reference %.2f%% (paper accepts <= 3%%)\n",
+		len(plan.Rates), plan.Bucket, mape*100)
+
+	trained := polca.TrainThresholds(ref, cfg.BrakeUtil, cfg.OOBLatency)
+	fmt.Printf("Thresholds trained from this trace: T1=%.0f%% T2=%.0f%%\n", trained.T1*100, trained.T2*100)
+
+	if *csvPath != "" {
+		if err := writeSeriesCSV(*csvPath, ref); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Reference series written to %s\n", *csvPath)
+	}
+	if *arrPath != "" {
+		arrivals := plan.Arrivals(rand.New(rand.NewSource(*seed + 1)))
+		if err := writeArrivalsCSV(*arrPath, arrivals); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d arrivals written to %s\n", len(arrivals), *arrPath)
+	}
+	if *reqPath != "" {
+		reqs, err := cluster.GenerateRequests(cfg, plan, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "requests:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*reqPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "requests:", err)
+			os.Exit(1)
+		}
+		err = cluster.SaveRequestsCSV(f, reqs)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "requests:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d requests written to %s (replay with polca-sim -replay)\n", len(reqs), *reqPath)
+	}
+}
+
+func writeSeriesCSV(path string, s stats.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"seconds", "utilization"}); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		if err := w.Write([]string{
+			fmt.Sprintf("%.0f", s.TimeAt(i).Seconds()),
+			fmt.Sprintf("%.5f", v),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeArrivalsCSV(path string, arrivals []time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"seconds"}); err != nil {
+		return err
+	}
+	for _, a := range arrivals {
+		if err := w.Write([]string{fmt.Sprintf("%.3f", a.Seconds())}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

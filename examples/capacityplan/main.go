@@ -1,0 +1,66 @@
+// Capacityplan: size a new row from first principles, the way §5 suggests —
+// derate servers from their nameplate rating to realistic peaks, analyze a
+// historical power trace for headroom, train POLCA thresholds from it, and
+// estimate how many additional servers the same budget can host.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"polca/internal/capacity"
+	"polca/internal/cluster"
+	"polca/internal/gpu"
+	"polca/internal/server"
+	"polca/internal/trace"
+)
+
+func main() {
+	// Step 1 — derating (§5): nameplate vs realistic peak server power.
+	d := capacity.DeratingFor(server.DGXA100(gpu.A100SXM80GB()))
+	fmt.Printf("Server derating analysis (%s):\n", d.Server)
+	fmt.Printf("  nameplate rating:       %5.0f W\n", d.RatedWatts)
+	fmt.Printf("  realistic peak:         %5.0f W\n", d.PeakWatts)
+	fmt.Printf("  reclaimable per server: %5.0f W\n\n", d.Reclaimable)
+
+	// Step 2 — headroom analysis on a two-week inference power trace.
+	cfg := cluster.Production()
+	ref := trace.ProductionInference().Reference(14*24*time.Hour, rand.New(rand.NewSource(11)))
+	h := capacity.AnalyzeHeadroom(ref, cfg.OOBLatency)
+	fmt.Printf("Inference row trace (%d servers, %.0f kW budget):\n",
+		cfg.BaseServers, cfg.ProvisionedWatts()/1000)
+	fmt.Printf("  observed peak utilization: %5.1f%%\n", h.PeakUtil*100)
+	fmt.Printf("  observed mean utilization: %5.1f%%\n", h.MeanUtil*100)
+	fmt.Printf("  worst 40s power rise:      %5.1f%% (the OOB capping blind spot)\n\n", h.Spike40s*100)
+
+	// Step 3+4 — train thresholds (§6.3) and estimate capacity under the
+	// capped-peak model.
+	plan, err := capacity.PlanRow(cfg, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Trained POLCA thresholds: T1 = %.0f%%, T2 = %.0f%%\n\n",
+		plan.Thresholds.T1*100, plan.Thresholds.T2*100)
+	fmt.Printf("Capacity estimate under POLCA:\n")
+	fmt.Printf("  capped busy server power:    %6.0f W (vs %.0f W uncapped)\n",
+		plan.CappedBusyWatts, plan.UncappedBusyWatts)
+	fmt.Printf("  servers the budget can host: %d (%.0f%% more than the %d provisioned)\n\n",
+		plan.MaxServers, plan.AddedFraction*100, cfg.BaseServers)
+
+	// Step 5 — project to the whole datacenter floor (Figure 2 topology),
+	// with the §6.7 cooling sanity check.
+	floor, err := capacity.PlanFloorCapacity(cluster.ProductionTopology(), cfg, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cluster.ProductionTopology().Describe())
+	fmt.Printf("\nFloor-level gain at +%.0f%%: %d extra servers (%.0f%% of a datacenter floor avoided)\n",
+		floor.FloorPlan.Added*100, floor.FloorPlan.GainedServers, floor.FloorPlan.DatacentersAvoided*100)
+	fmt.Printf("Rack cooling headroom at realistic peak: %.0f%% (§6.7: not the bottleneck)\n\n",
+		floor.CoolingHeadroom*100)
+
+	fmt.Println("The paper deploys 30% more servers with zero power brakes (§6.6);")
+	fmt.Println("run `polca-sim -added 0.30` to validate this estimate in simulation.")
+}

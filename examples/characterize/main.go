@@ -1,0 +1,57 @@
+// Characterize: reproduce the paper's server-level power characterization
+// for two generative LLMs — the two-phase inference power signature
+// (Figure 6), sensitivity to the input/batch/output knobs (Figure 8), and
+// the frequency-locking trade-off (Figure 10).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polca/internal/llm"
+	"polca/internal/plan"
+	"polca/internal/profiler"
+)
+
+func main() {
+	for _, name := range []string{"Llama2-70B", "BLOOM-176B"} {
+		model := llm.MustByName(name)
+		fmt.Printf("=== %s (%d GPUs, FP16) ===\n", model.Name, model.InferenceGPUs)
+
+		// Two-phase power signature.
+		base := plan.InferenceConfig{Model: model, DType: llm.FP16, BatchSize: 1, InputTokens: 2048, OutputTokens: 256}
+		m, err := profiler.MeasureInference(base, profiler.Knob{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prompt spike peaks at %.2f TDP; whole-request mean %.2f TDP; %.1f tok/s\n",
+			m.PeakTDP, m.MeanTDP, m.TokensSec)
+
+		// Knob sensitivity: which configuration parameter moves power, and
+		// which moves latency (Insight 5)?
+		big := base
+		big.InputTokens = 8192
+		mBig, _ := profiler.MeasureInference(big, profiler.Knob{})
+		long := base
+		long.OutputTokens = 1024
+		mLong, _ := profiler.MeasureInference(long, profiler.Knob{})
+		fmt.Printf("input 2048->8192: peak %.2f -> %.2f TDP, latency %.1fs -> %.1fs\n",
+			m.PeakTDP, mBig.PeakTDP, m.Latency.Seconds(), mBig.Latency.Seconds())
+		fmt.Printf("output 256->1024: peak %.2f -> %.2f TDP, latency %.1fs -> %.1fs\n",
+			m.PeakTDP, mLong.PeakTDP, m.Latency.Seconds(), mLong.Latency.Seconds())
+
+		// Frequency locking: reclaimed power vs lost performance.
+		pts, err := profiler.FrequencySweep(base, []float64{1305, 1275, 1110})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("frequency locking trade-off:")
+		for _, p := range pts {
+			fmt.Printf("  %4.0f MHz: reclaims %4.1f%% peak power for %4.1f%% performance\n",
+				p.Knob.LockClockMHz, p.PeakPowerReduction*100, p.PerfReduction*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Takeaway (Insight 7): frequency locking reclaims far more power than")
+	fmt.Println("it costs in performance — the lever POLCA builds on.")
+}

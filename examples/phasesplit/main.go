@@ -1,0 +1,52 @@
+// Phasesplit: explore the paper's §5.2 design implication — phase-aware
+// power management — on BLOOM-176B: first per-phase frequency scaling on
+// colocated GPUs, then full prompt/token disaggregation across pools with
+// the KV-cache handoff cost accounted for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polca/internal/disagg"
+	"polca/internal/llm"
+	"polca/internal/plan"
+)
+
+func main() {
+	cfg := plan.InferenceConfig{
+		Model: llm.MustByName("BLOOM-176B"), DType: llm.FP16,
+		BatchSize: 1, InputTokens: 2048, OutputTokens: 512,
+	}
+
+	fmt.Println("== Phase-aware frequency scaling (colocated) ==")
+	for _, mhz := range []float64{1305, 1110, 990} {
+		cmp, err := disagg.ComparePhaseAware(cfg, mhz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("token clock %4.0f MHz: saves %4.1f%% mean power for %4.1f%% latency "+
+			"(uniform lock would cost %4.1f%%)\n",
+			mhz, cmp.PhaseAwareSavings*100, cmp.PhaseAwareSlowdown*100,
+			(float64(cmp.UniformLow.Latency)/float64(cmp.Baseline.Latency)-1)*100)
+	}
+
+	fmt.Println("\n== Prompt/token disaggregation across GPU pools ==")
+	for _, ic := range []float64{12.5, 25, 50} { // 100/200/400 Gb/s
+		rep, err := disagg.EvaluateSplit(disagg.SplitConfig{
+			Workload:         cfg,
+			TokenClockMHz:    1110,
+			InterconnectGBps: ic,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("interconnect %3.0f GB/s: pools 1:%.0f, KV handoff %3.0f ms, "+
+			"latency +%.1f%%, fleet power -%.1f%%\n",
+			ic, rep.PoolRatio, rep.TransferSeconds*1000,
+			rep.LatencyOverhead*100, rep.PowerSavings*100)
+	}
+
+	fmt.Println("\nOnly the token pool is down-clocked: prompts keep full-speed GPUs,")
+	fmt.Println("and the pool sizing follows the phase-time ratio (paper §5.2 / Splitwise).")
+}

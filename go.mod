@@ -1,0 +1,3 @@
+module polca
+
+go 1.22

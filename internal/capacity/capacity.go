@@ -1,0 +1,159 @@
+// Package capacity implements the provisioning analyses of the paper's §5:
+// derating GPU servers from nameplate ratings to realistic peaks, measuring
+// the power headroom of a historical trace, and estimating how many
+// additional servers a fixed row budget can host once a POLCA-style capping
+// policy guards the peaks.
+//
+// These are planning estimates: they size a deployment analytically, and
+// the cluster simulator validates the chosen point (the paper's own flow —
+// analyze the trace, pick thresholds, then simulate §6.5's sweeps).
+package capacity
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/gpu"
+	"polca/internal/polca"
+	"polca/internal/server"
+	"polca/internal/stats"
+)
+
+// Derating reports the gap between a server's nameplate rating and its
+// realistic peak draw (§5: "we could derate the power provisioned per
+// server by up to 800 W").
+type Derating struct {
+	Server      string
+	RatedWatts  float64
+	PeakWatts   float64
+	Reclaimable float64
+}
+
+// DeratingFor analyzes a server spec.
+func DeratingFor(spec server.Spec) Derating {
+	srv := server.New(0, spec)
+	peak := srv.PeakWatts()
+	return Derating{
+		Server:      spec.Name,
+		RatedWatts:  spec.ProvisionedWatts,
+		PeakWatts:   peak,
+		Reclaimable: spec.ProvisionedWatts - peak,
+	}
+}
+
+// Headroom summarizes a row utilization trace for planning.
+type Headroom struct {
+	PeakUtil float64
+	MeanUtil float64
+	// Spike40s is the worst power rise within the OOB actuation latency —
+	// the blind spot any capping policy must budget for.
+	Spike40s float64
+	// Available is the planning headroom: distance from the observed peak
+	// to full budget.
+	Available float64
+}
+
+// AnalyzeHeadroom summarizes a utilization series.
+func AnalyzeHeadroom(util stats.Series, oobLatency time.Duration) Headroom {
+	return Headroom{
+		PeakUtil:  util.Peak(),
+		MeanUtil:  util.Mean(),
+		Spike40s:  util.MaxRise(oobLatency),
+		Available: 1 - util.Peak(),
+	}
+}
+
+// Plan is an analytic oversubscription estimate for one row.
+type Plan struct {
+	// Thresholds trained from the trace (§6.3).
+	Thresholds polca.Config
+	// CappedBusyWatts is the mean busy-server power with the row under the
+	// Table 5 T2 caps.
+	CappedBusyWatts float64
+	// UncappedBusyWatts is the profiled busy-server power.
+	UncappedBusyWatts float64
+	// MaxServers is the estimated server count the budget hosts with the
+	// capping policy holding the peak at T2.
+	MaxServers int
+	// AddedFraction is the estimated safe oversubscription level.
+	AddedFraction float64
+}
+
+// PlanRow derives the §5/§6.3 planning estimate for a row from a
+// historical utilization trace: train thresholds, estimate capped busy
+// power, and size the fleet so the capped peak lands at the trained T2
+// (the level the threshold training budgeted for stochastic peaks plus the
+// OOB blind spot).
+func PlanRow(cfg cluster.RowConfig, util stats.Series) (Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if util.Len() < 2 {
+		return Plan{}, fmt.Errorf("capacity: trace too short")
+	}
+	trained := polca.TrainThresholds(util, cfg.BrakeUtil, cfg.OOBLatency)
+	shape := cfg.Shape()
+	capped := CappedBusyWatts(cfg)
+
+	busyAtPeak := shape.BusyFraction(util.Peak())
+	perServerPeak := busyAtPeak*capped + (1-busyAtPeak)*shape.IdleServerWatts
+	if perServerPeak <= 0 {
+		return Plan{}, fmt.Errorf("capacity: degenerate power model")
+	}
+	maxServers := int(trained.T2 * shape.ProvisionedWatts / perServerPeak)
+	if maxServers < cfg.BaseServers {
+		maxServers = cfg.BaseServers
+	}
+	return Plan{
+		Thresholds:        trained,
+		CappedBusyWatts:   capped,
+		UncappedBusyWatts: shape.BusyServerWatts,
+		MaxServers:        maxServers,
+		AddedFraction:     float64(maxServers)/float64(cfg.BaseServers) - 1,
+	}, nil
+}
+
+// CappedBusyWatts estimates mean busy-server power with the row under the
+// Table 5 T2 caps (low priority at 1110 MHz, high priority at 1305 MHz).
+// The DVFS-scaled share of busy GPU power shrinks with the clock ratio;
+// the memory-bound share does not.
+func CappedBusyWatts(cfg cluster.RowConfig) float64 {
+	base := cfg.BusyServerWatts()
+	idle := cfg.IdleServerWatts()
+	spec := gpu.A100SXM80GB()
+	def := polca.DefaultConfig()
+	ratio := (def.LPDeepMHz*cfg.LowPriorityFraction + def.HPCapMHz*(1-cfg.LowPriorityFraction)) / spec.MaxSMClockMHz
+	const dynShare = 0.45 // clock-scaled share of busy power above idle
+	delta := (base - idle) * dynShare * (1 - math.Pow(ratio, spec.DVFSAlpha))
+	return base - delta
+}
+
+// Floor combines a row plan with the Figure 2 topology into a
+// datacenter-level estimate.
+type Floor struct {
+	Plan      Plan
+	FloorPlan cluster.FloorPlan
+	// CoolingHeadroom at the rack level for the realistic server peak.
+	CoolingHeadroom float64
+}
+
+// PlanFloorCapacity sizes every row of the topology at the analytic
+// oversubscription level, checking §6.7's cooling constraint.
+func PlanFloorCapacity(top cluster.Topology, cfg cluster.RowConfig, util stats.Series) (Floor, error) {
+	plan, err := PlanRow(cfg, util)
+	if err != nil {
+		return Floor{}, err
+	}
+	fp, err := cluster.PlanFloor(top, math.Min(plan.AddedFraction, 1))
+	if err != nil {
+		return Floor{}, err
+	}
+	srv := server.New(0, server.DGXA100(gpu.A100SXM80GB()))
+	return Floor{
+		Plan:            plan,
+		FloorPlan:       fp,
+		CoolingHeadroom: top.CoolingHeadroom(srv.PeakWatts()),
+	}, nil
+}

@@ -1,0 +1,115 @@
+package capacity
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/gpu"
+	"polca/internal/server"
+	"polca/internal/stats"
+	"polca/internal/trace"
+)
+
+func prodTrace(t *testing.T) stats.Series {
+	t.Helper()
+	return trace.ProductionInference().Reference(7*24*time.Hour, rand.New(rand.NewSource(11)))
+}
+
+func TestDerating(t *testing.T) {
+	d := DeratingFor(server.DGXA100(gpu.A100SXM80GB()))
+	if d.RatedWatts != 6500 {
+		t.Errorf("rated = %v", d.RatedWatts)
+	}
+	// §5: up to ~800 W reclaimable per server.
+	if d.Reclaimable < 500 || d.Reclaimable > 1000 {
+		t.Errorf("reclaimable = %v W, want ~600-800", d.Reclaimable)
+	}
+	if d.PeakWatts+d.Reclaimable != d.RatedWatts {
+		t.Error("derating arithmetic inconsistent")
+	}
+}
+
+func TestAnalyzeHeadroom(t *testing.T) {
+	ref := prodTrace(t)
+	h := AnalyzeHeadroom(ref, 40*time.Second)
+	// Table 4 inference shape: ~20+ points of headroom, modest 40s spikes.
+	if h.Available < 0.15 {
+		t.Errorf("available headroom = %.3f, want substantial", h.Available)
+	}
+	if h.PeakUtil+h.Available != 1 {
+		t.Error("headroom arithmetic inconsistent")
+	}
+	if h.Spike40s <= 0 || h.Spike40s > 0.3 {
+		t.Errorf("40s spike = %.3f, implausible", h.Spike40s)
+	}
+	if h.MeanUtil >= h.PeakUtil {
+		t.Error("mean above peak")
+	}
+}
+
+func TestCappedBusyWatts(t *testing.T) {
+	cfg := cluster.Production()
+	capped := CappedBusyWatts(cfg)
+	base := cfg.BusyServerWatts()
+	if capped >= base {
+		t.Errorf("capping should reduce busy power: %v vs %v", capped, base)
+	}
+	// The reduction is bounded by the dynamic share.
+	if capped < 0.8*base {
+		t.Errorf("capped busy power %v implausibly low vs %v", capped, base)
+	}
+	if capped <= cfg.IdleServerWatts() {
+		t.Error("capped busy power below idle")
+	}
+}
+
+func TestPlanRow(t *testing.T) {
+	cfg := cluster.Production()
+	plan, err := PlanRow(cfg, prodTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's validated operating point is 30-35% more servers; the
+	// analytic estimate should land in that neighbourhood.
+	if plan.AddedFraction < 0.2 || plan.AddedFraction > 0.5 {
+		t.Errorf("estimated added fraction = %.2f, want ~0.3", plan.AddedFraction)
+	}
+	if plan.MaxServers <= cfg.BaseServers {
+		t.Error("plan gained no servers")
+	}
+	if plan.Thresholds.Validate() != nil {
+		t.Error("trained thresholds invalid")
+	}
+	if plan.CappedBusyWatts >= plan.UncappedBusyWatts {
+		t.Error("plan's capped power not below uncapped")
+	}
+}
+
+func TestPlanRowErrors(t *testing.T) {
+	if _, err := PlanRow(cluster.RowConfig{}, prodTrace(t)); err == nil {
+		t.Error("want error for invalid config")
+	}
+	if _, err := PlanRow(cluster.Production(), stats.Series{}); err == nil {
+		t.Error("want error for empty trace")
+	}
+}
+
+func TestPlanFloorCapacity(t *testing.T) {
+	top := cluster.ProductionTopology()
+	floor, err := PlanFloorCapacity(top, cluster.Production(), prodTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor.FloorPlan.GainedServers <= 0 {
+		t.Error("floor plan gained nothing")
+	}
+	// §6.7: cooling is not the binding constraint at these levels.
+	if floor.CoolingHeadroom < 0.2 {
+		t.Errorf("cooling headroom = %.2f, want comfortable", floor.CoolingHeadroom)
+	}
+	if _, err := PlanFloorCapacity(cluster.Topology{}, cluster.Production(), prodTrace(t)); err == nil {
+		t.Error("want error for invalid topology")
+	}
+}

@@ -1,0 +1,806 @@
+// Package cluster implements the discrete-event simulation of an LLM
+// inference row (paper §6.4): a PDU-level power domain containing GPU
+// servers that serve BLOOM-class inference requests, a row manager sampling
+// aggregate power every 2 s, an out-of-band actuation pipeline with the
+// paper's 40 s latency and silent-failure behaviour, and the UPS-protecting
+// power brake.
+//
+// A power-management policy plugs in through the Controller interface; the
+// polca package provides the paper's dual-threshold policy and the
+// baselines it is compared against.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"polca/internal/gpu"
+	"polca/internal/llm"
+	"polca/internal/plan"
+	"polca/internal/server"
+	"polca/internal/sim"
+	"polca/internal/stats"
+	"polca/internal/trace"
+	"polca/internal/workload"
+)
+
+// RowConfig describes the simulated row (paper Table 2 plus the
+// oversubscription knobs of §6.5).
+type RowConfig struct {
+	// BaseServers is the number of servers the row's power budget was
+	// provisioned for (Table 2: 40).
+	BaseServers int
+	// AddedFraction is the oversubscription level: 0.30 deploys 30% more
+	// servers under the same power budget.
+	AddedFraction float64
+	// LowPriorityFraction is the share of servers allocated to the
+	// low-priority pool (the allocator's priority mix, §6.3).
+	LowPriorityFraction float64
+	// ProvisionedPerServerWatts is the derated per-server power slice the
+	// row budget is built from (§5: derating reclaims the gap between the
+	// 6.5 kW rating and realistic peaks).
+	ProvisionedPerServerWatts float64
+
+	// Model and DType describe the served model (the paper evaluates
+	// BLOOM-176B, its worst-case capping workload).
+	Model llm.Model
+	DType llm.DType
+
+	// Classes is the workload mix (defaults to Table 6).
+	Classes []workload.Class
+
+	// TelemetryInterval is the row manager sampling period (Table 2: 2 s).
+	TelemetryInterval time.Duration
+	// BrakeLatency is the power-brake engage latency (Table 2: 5 s).
+	BrakeLatency time.Duration
+	// OOBLatency is the frequency/power capping actuation latency
+	// (Table 2: 40 s).
+	OOBLatency time.Duration
+	// OOBFailureProb is the chance an OOB command fails silently (§3.3).
+	OOBFailureProb float64
+	// BrakeUtil is the row utilization that triggers a power brake.
+	BrakeUtil float64
+	// BrakeReleaseUtil is the utilization below which the brake releases.
+	BrakeReleaseUtil float64
+	// BrakeHold is the minimum time a brake stays engaged once applied —
+	// operators release the emergency lever conservatively, and instant
+	// release would oscillate (the hysteresis failure mode of §6.1).
+	BrakeHold time.Duration
+
+	// PowerIntensity scales GPU power draw (1.05 models workloads becoming
+	// 5% more power-intensive than profiled, §6.6).
+	PowerIntensity float64
+
+	// Seed drives all of the row's randomness.
+	Seed int64
+}
+
+// Production returns the paper's production row configuration (Table 2)
+// serving BLOOM-176B.
+func Production() RowConfig {
+	return RowConfig{
+		BaseServers:               40,
+		AddedFraction:             0,
+		LowPriorityFraction:       0.5,
+		ProvisionedPerServerWatts: 4600,
+		Model:                     llm.MustByName("BLOOM-176B"),
+		DType:                     llm.FP16,
+		Classes:                   workload.Table6(),
+		TelemetryInterval:         2 * time.Second,
+		BrakeLatency:              5 * time.Second,
+		OOBLatency:                40 * time.Second,
+		OOBFailureProb:            0.02,
+		BrakeUtil:                 1.0,
+		BrakeReleaseUtil:          0.92,
+		BrakeHold:                 30 * time.Second,
+		PowerIntensity:            1.0,
+		Seed:                      1,
+	}
+}
+
+// MeanServiceSeconds estimates the mean uncapped end-to-end service time
+// of requests at the given priority, from the class mix and the inference
+// plan model (class means of input/output sizes).
+func (c RowConfig) MeanServiceSeconds(p workload.Priority) float64 {
+	dev := gpu.NewDevice(gpu.A100SXM80GB())
+	var wsum, tsum float64
+	for _, cl := range c.Classes {
+		w := cl.Share * cl.LowShare
+		if p == workload.High {
+			w = cl.Share * (1 - cl.LowShare)
+		}
+		if w <= 0 {
+			continue
+		}
+		pl, err := plan.NewInference(plan.InferenceConfig{
+			Model: c.Model, DType: c.DType, BatchSize: 1,
+			InputTokens:  (cl.PromptMin + cl.PromptMax) / 2,
+			OutputTokens: (cl.OutputMin + cl.OutputMax) / 2,
+		})
+		if err != nil {
+			continue
+		}
+		var dur time.Duration
+		for _, ph := range pl.Phases() {
+			dur += dev.Run(ph).Duration
+		}
+		wsum += w
+		tsum += w * dur.Seconds()
+	}
+	if wsum == 0 {
+		return 1
+	}
+	return tsum / wsum
+}
+
+// BusyServerWatts estimates the mean server power while serving a request
+// (mix-weighted mean over classes and priorities).
+func (c RowConfig) BusyServerWatts() float64 {
+	dev := gpu.NewDevice(gpu.A100SXM80GB())
+	srv := server.New(0, server.DGXA100(gpu.A100SXM80GB()))
+	var esum, tsum float64
+	for _, cl := range c.Classes {
+		pl, err := plan.NewInference(plan.InferenceConfig{
+			Model: c.Model, DType: c.DType, BatchSize: 1,
+			InputTokens:  (cl.PromptMin + cl.PromptMax) / 2,
+			OutputTokens: (cl.OutputMin + cl.OutputMax) / 2,
+		})
+		if err != nil {
+			continue
+		}
+		for _, ph := range pl.Phases() {
+			e := dev.Run(ph)
+			esum += cl.Share * e.Energy()
+			tsum += cl.Share * e.Duration.Seconds()
+		}
+	}
+	if tsum == 0 {
+		return srv.IdleWatts()
+	}
+	gpuW := esum / tsum * float64(srv.Spec().GPUCount) * c.PowerIntensity
+	return srv.PowerFromGPUs(gpuW)
+}
+
+// IdleServerWatts returns the power of an idle server.
+func (c RowConfig) IdleServerWatts() float64 {
+	return server.New(0, server.DGXA100(gpu.A100SXM80GB())).IdleWatts()
+}
+
+// Shape returns the trace.ClusterShape used to fit an arrival plan for
+// this row: the *base* server count (arrival volume is what the original
+// row served; oversubscription scales it separately via RatePlan.Scale)
+// with the effective aggregate service time 1/λ when both pools run at
+// equal busy fractions.
+func (c RowConfig) Shape() trace.ClusterShape {
+	sLP := c.MeanServiceSeconds(workload.Low)
+	sHP := c.MeanServiceSeconds(workload.High)
+	lp := c.LowPriorityFraction
+	// λ_total = busy · N · (lp/sLP + (1-lp)/sHP)  ⇒  S_eff = 1/(lp/sLP + …)
+	denom := lp/sLP + (1-lp)/sHP
+	return trace.ClusterShape{
+		Servers:          c.BaseServers,
+		ProvisionedWatts: c.ProvisionedWatts(),
+		IdleServerWatts:  c.IdleServerWatts(),
+		BusyServerWatts:  c.BusyServerWatts(),
+		MeanServiceSec:   1 / denom,
+	}
+}
+
+// Servers returns the deployed server count including oversubscription.
+func (c RowConfig) Servers() int {
+	n := int(float64(c.BaseServers)*(1+c.AddedFraction) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ProvisionedWatts returns the row power budget. It does not grow with
+// AddedFraction — that is the point of oversubscription.
+func (c RowConfig) ProvisionedWatts() float64 {
+	return float64(c.BaseServers) * c.ProvisionedPerServerWatts
+}
+
+// Validate reports whether the configuration is usable.
+func (c RowConfig) Validate() error {
+	switch {
+	case c.BaseServers <= 0:
+		return fmt.Errorf("cluster: no servers")
+	case c.AddedFraction < 0 || c.AddedFraction > 1:
+		return fmt.Errorf("cluster: added fraction %v outside [0,1]", c.AddedFraction)
+	case c.LowPriorityFraction < 0 || c.LowPriorityFraction > 1:
+		return fmt.Errorf("cluster: low-priority fraction %v outside [0,1]", c.LowPriorityFraction)
+	case c.ProvisionedPerServerWatts <= 0:
+		return fmt.Errorf("cluster: no per-server budget")
+	case c.Model.Params <= 0:
+		return fmt.Errorf("cluster: no model")
+	case c.TelemetryInterval <= 0 || c.BrakeLatency <= 0 || c.OOBLatency <= 0:
+		return fmt.Errorf("cluster: non-positive latency")
+	case c.BrakeHold < 0:
+		return fmt.Errorf("cluster: negative brake hold")
+	case c.OOBFailureProb < 0 || c.OOBFailureProb >= 1:
+		return fmt.Errorf("cluster: bad OOB failure probability %v", c.OOBFailureProb)
+	case c.BrakeUtil <= 0 || c.BrakeReleaseUtil <= 0 || c.BrakeReleaseUtil > c.BrakeUtil:
+		return fmt.Errorf("cluster: bad brake thresholds")
+	case c.PowerIntensity <= 0:
+		return fmt.Errorf("cluster: bad power intensity")
+	}
+	if err := workload.Validate(c.Classes); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Actuator is the control surface a power-management policy drives. All
+// actions go through the OOB pipeline: they take effect after the
+// configured latency and may fail silently (the row re-issues unapplied
+// commands on each telemetry tick, modelling the guardrails §3.3 demands).
+type Actuator interface {
+	// SetPoolLock requests every server of the pool to lock its GPUs' SM
+	// clock at mhz; 0 requests an unlock.
+	SetPoolLock(p workload.Priority, mhz float64)
+	// PoolLock returns the currently *desired* lock for the pool (0 = none).
+	PoolLock(p workload.Priority) float64
+	// GPUSpec returns the GPU SKU, so policies can reference its clocks.
+	GPUSpec() gpu.Spec
+}
+
+// Controller is a row power-management policy. OnTelemetry runs at every
+// row-manager sample with the current utilization (row power divided by
+// provisioned power).
+type Controller interface {
+	Name() string
+	OnTelemetry(now sim.Time, util float64, act Actuator)
+}
+
+// Metrics aggregates one simulation run.
+type Metrics struct {
+	Config      RowConfig
+	Policy      string
+	Provisioned float64
+	// Util is the row-manager utilization series (2 s samples).
+	Util stats.Series
+	// LatencySec holds end-to-end request latencies (queueing included).
+	LatencySec map[workload.Priority][]float64
+	// Arrived and Completed count requests per priority.
+	Arrived   map[workload.Priority]int
+	Completed map[workload.Priority]int
+	// BusySec accumulates service time (excluding queueing) per priority.
+	BusySec map[workload.Priority]float64
+	// Dropped counts requests shed because the row's buffering (one
+	// request per server, §6.6) was exhausted.
+	Dropped map[workload.Priority]int
+	// BrakeEvents counts power-brake engagements (Figure 18's metric).
+	BrakeEvents int
+	// LockCommands and FailedCommands count OOB actuation traffic.
+	LockCommands   int
+	FailedCommands int
+	// MaxQueueLen is the deepest central spillover queue observed.
+	MaxQueueLen int
+}
+
+// Throughput returns completed requests per server-second for the pool.
+func (m Metrics) Throughput(p workload.Priority, poolServers int) float64 {
+	if poolServers <= 0 || m.Util.Duration() <= 0 {
+		return 0
+	}
+	return float64(m.Completed[p]) / float64(poolServers) / m.Util.Duration().Seconds()
+}
+
+// node is one simulated server.
+type node struct {
+	idx int
+	pri workload.Priority
+	srv *server.Server
+	dev *gpu.Device // representative device; all 8 GPUs behave identically
+
+	desiredLock float64
+	appliedLock float64
+	cmdInFlight bool
+
+	active *activeReq
+}
+
+// activeReq tracks the request a node is executing.
+type activeReq struct {
+	req        workload.Request
+	remaining  []gpu.Phase
+	exec       gpu.Exec
+	phaseStart sim.Time
+	timer      sim.Timer
+	started    sim.Time
+}
+
+// Row is the simulated PDU power domain.
+type Row struct {
+	cfg     RowConfig
+	eng     *sim.Engine
+	ctrl    Controller
+	nodes   []*node
+	pools   map[workload.Priority][]*node
+	frontQ  map[workload.Priority][]workload.Request
+	busy    map[workload.Priority]int
+	sampler *workload.Sampler
+
+	// Admission gate state: the fleet balancer routes this row its share
+	// of traffic, so the busy-server count tracks the offered-load curve
+	// (±slack) instead of open-loop Poisson fluctuation.
+	arrivalPlan trace.RatePlan
+	svcEffSec   float64                                   // aggregate S at full clocks
+	svcBase     map[workload.Priority]float64             // per-pool S at full clocks
+	svcAtLock   map[workload.Priority]map[float64]float64 // per-pool S per lock MHz
+
+	dispatchRNG *rand.Rand
+	oobRNG      *rand.Rand
+
+	// lowArrivalProb is the probability an arrival targets the low pool,
+	// sized so both pools run at equal busy fractions despite different
+	// mean service times.
+	lowArrivalProb float64
+
+	// Sub-interval power accumulation for interval-averaged row readings.
+	powerSum     float64
+	powerSamples int
+
+	braked       bool
+	brakePending bool
+	brakeHeld    sim.Time // earliest release time
+
+	telemetryTick sim.Timer
+	telemetrySub  sim.Timer
+
+	metrics *Metrics
+}
+
+// NewRow builds a row on the engine with the given policy. It panics on an
+// invalid configuration (construction is programmer-controlled).
+func NewRow(eng *sim.Engine, cfg RowConfig, ctrl Controller) *Row {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if ctrl == nil {
+		panic("cluster: nil controller")
+	}
+	spec := server.DGXA100(gpu.A100SXM80GB())
+	r := &Row{
+		cfg:         cfg,
+		eng:         eng,
+		ctrl:        ctrl,
+		pools:       map[workload.Priority][]*node{},
+		frontQ:      map[workload.Priority][]workload.Request{},
+		busy:        map[workload.Priority]int{},
+		sampler:     workload.NewSampler(cfg.Classes, eng.Rand("workload")),
+		dispatchRNG: eng.Rand("dispatch"),
+		oobRNG:      eng.Rand("oob"),
+		metrics: &Metrics{
+			Config:      cfg,
+			Policy:      ctrl.Name(),
+			Provisioned: cfg.ProvisionedWatts(),
+			LatencySec:  map[workload.Priority][]float64{},
+			Arrived:     map[workload.Priority]int{},
+			Completed:   map[workload.Priority]int{},
+			BusySec:     map[workload.Priority]float64{},
+			Dropped:     map[workload.Priority]int{},
+		},
+	}
+	total := cfg.Servers()
+	lp := int(float64(total)*cfg.LowPriorityFraction + 0.5)
+	for i := 0; i < total; i++ {
+		pri := workload.High
+		if i < lp {
+			pri = workload.Low
+		}
+		s := server.New(i, spec)
+		n := &node{idx: i, pri: pri, srv: s, dev: s.GPUs()[0]}
+		r.nodes = append(r.nodes, n)
+		r.pools[pri] = append(r.pools[pri], n)
+	}
+	// Arrival split: pool weight ∝ poolSize / meanServiceTime, so equal
+	// arrival pressure translates into equal busy fractions.
+	sLow := cfg.MeanServiceSeconds(workload.Low)
+	sHigh := cfg.MeanServiceSeconds(workload.High)
+	wLow := float64(len(r.pools[workload.Low])) / sLow
+	wHigh := float64(len(r.pools[workload.High])) / sHigh
+	if wLow+wHigh > 0 {
+		r.lowArrivalProb = wLow / (wLow + wHigh)
+	}
+	r.svcBase = map[workload.Priority]float64{workload.Low: sLow, workload.High: sHigh}
+	r.svcAtLock = map[workload.Priority]map[float64]float64{
+		workload.Low: {0: sLow}, workload.High: {0: sHigh},
+	}
+	r.svcEffSec = cfg.Shape().MeanServiceSec
+	return r
+}
+
+// Metrics returns the run's metrics (live; read after the run completes).
+func (r *Row) Metrics() *Metrics { return r.metrics }
+
+// PoolSize returns the number of servers in a priority pool.
+func (r *Row) PoolSize(p workload.Priority) int { return len(r.pools[p]) }
+
+// GPUSpec implements Actuator.
+func (r *Row) GPUSpec() gpu.Spec { return gpu.A100SXM80GB() }
+
+// PoolLock implements Actuator.
+func (r *Row) PoolLock(p workload.Priority) float64 {
+	ns := r.pools[p]
+	if len(ns) == 0 {
+		return 0
+	}
+	return ns[0].desiredLock
+}
+
+// PoolAppliedLocks returns the SM-clock locks actually applied on each
+// server of the pool (0 = unlocked), for inspection and tests.
+func (r *Row) PoolAppliedLocks(p workload.Priority) []float64 {
+	out := make([]float64, 0, len(r.pools[p]))
+	for _, n := range r.pools[p] {
+		out = append(out, n.appliedLock)
+	}
+	return out
+}
+
+// SetPoolLock implements Actuator. The desired state is recorded
+// immediately; the OOB pipeline applies it per server with latency and
+// possible silent failures, re-issuing on subsequent telemetry ticks.
+func (r *Row) SetPoolLock(p workload.Priority, mhz float64) {
+	for _, n := range r.pools[p] {
+		n.desiredLock = mhz
+	}
+}
+
+// Run simulates the row serving the arrival plan until its horizon plus a
+// drain margin, and returns the metrics.
+func (r *Row) Run(arrivals trace.RatePlan) *Metrics {
+	r.arrivalPlan = arrivals
+	horizon := arrivals.Horizon()
+	arrRNG := r.eng.Rand("arrivals")
+
+	// Online arrival generation: one pending event at a time.
+	var scheduleNext func(after sim.Time)
+	scheduleNext = func(after sim.Time) {
+		next, ok := arrivals.NextAfter(after, arrRNG)
+		if !ok {
+			return
+		}
+		r.eng.At(next, func(now sim.Time) {
+			r.arrive(now)
+			scheduleNext(now)
+		})
+	}
+	scheduleNext(0)
+
+	r.startTelemetry()
+	r.eng.RunUntil(horizon)
+	r.stopTelemetry()
+	// Drain in-flight work so tail latencies are recorded.
+	r.eng.RunUntil(horizon + 30*time.Minute)
+	return r.metrics
+}
+
+// startTelemetry arms the row manager: sub-interval power accumulation
+// (the row manager reports interval means, not instantaneous values, which
+// is what smooths sub-second prompt spikes out of row readings) and the
+// 2 s telemetry/control tick.
+func (r *Row) startTelemetry() {
+	subStep := r.cfg.TelemetryInterval / 8
+	if subStep <= 0 {
+		subStep = r.cfg.TelemetryInterval
+	}
+	r.telemetrySub = r.eng.EveryFrom(r.eng.Now()+subStep, subStep, func(now sim.Time) {
+		r.powerSum += r.instantUtilization(now)
+		r.powerSamples++
+	})
+	r.telemetryTick = r.eng.EveryFrom(r.eng.Now()+r.cfg.TelemetryInterval, r.cfg.TelemetryInterval, func(now sim.Time) {
+		util := r.instantUtilization(now)
+		if r.powerSamples > 0 {
+			util = r.powerSum / float64(r.powerSamples)
+		}
+		r.powerSum, r.powerSamples = 0, 0
+		r.metrics.Util.Values = append(r.metrics.Util.Values, util)
+		r.brakeLogic(util)
+		r.ctrl.OnTelemetry(now, util, r)
+		r.pumpCommands(now)
+		r.tryAdmit(workload.Low, now)
+		r.tryAdmit(workload.High, now)
+	})
+	r.metrics.Util.Step = r.cfg.TelemetryInterval
+	r.metrics.Util.Start = r.eng.Now() + r.cfg.TelemetryInterval
+}
+
+// stopTelemetry disarms the row manager.
+func (r *Row) stopTelemetry() {
+	r.telemetryTick.Stop()
+	r.telemetrySub.Stop()
+}
+
+// arrive admits one request: pick the pool proportionally to its size, draw
+// the request, dispatch.
+func (r *Row) arrive(now sim.Time) {
+	pri := workload.High
+	if r.dispatchRNG.Float64() < r.lowArrivalProb {
+		pri = workload.Low
+	}
+	req := r.sampler.SampleWithPriority(now, pri)
+	r.metrics.Arrived[pri]++
+	r.dispatch(now, req)
+}
+
+// dispatch enqueues the request at the row's front door and admits as much
+// queued work as the admission gate allows.
+func (r *Row) dispatch(now sim.Time, req workload.Request) {
+	// Buffering is bounded at one queued request per server (§6.6); a
+	// production load balancer sheds or redirects beyond that.
+	if len(r.frontQ[req.Priority]) >= len(r.pools[req.Priority]) {
+		r.metrics.Dropped[req.Priority]++
+		return
+	}
+	q := append(r.frontQ[req.Priority], req)
+	r.frontQ[req.Priority] = q
+	if len(q) > r.metrics.MaxQueueLen {
+		r.metrics.MaxQueueLen = len(q)
+	}
+	r.tryAdmit(req.Priority, now)
+}
+
+// admitLimit returns the pool's current admission gate: the busy-server
+// count the fleet balancer would steer this row to. It follows the offered
+// load (arrival rate × nominal service time), stretched by the pool's
+// current capping slowdown — a capped fleet runs at higher occupancy to
+// serve the same traffic — plus one server of slack (the paper's
+// one-request-buffer headroom).
+func (r *Row) admitLimit(p workload.Priority, now sim.Time) int {
+	pool := r.pools[p]
+	if len(pool) == 0 {
+		return 0
+	}
+	busyFrac := r.arrivalPlan.RateAt(now) * r.svcEffSec / float64(len(r.nodes))
+	slow := r.poolSlowdown(p)
+	target := busyFrac * float64(len(pool)) * slow
+	// Square-root staffing slack: keeps the queueing delay independent of
+	// pool size as oversubscription adds servers.
+	slack := 0.6 * math.Sqrt(target)
+	if slack < 1.5 {
+		slack = 1.5
+	}
+	limit := int(target + slack)
+	if limit > len(pool) {
+		limit = len(pool)
+	}
+	return limit
+}
+
+// poolSlowdown returns the pool's mean service-time stretch under the
+// currently applied locks (1.0 when uncapped).
+func (r *Row) poolSlowdown(p workload.Priority) float64 {
+	base := r.svcBase[p]
+	if base <= 0 {
+		return 1
+	}
+	var sum float64
+	pool := r.pools[p]
+	for _, n := range pool {
+		sum += r.serviceAtLock(p, n.appliedLock)
+	}
+	return sum / float64(len(pool)) / base
+}
+
+// serviceAtLock returns the cached mean service time for the pool's mix at
+// the given applied SM-clock lock.
+func (r *Row) serviceAtLock(p workload.Priority, lock float64) float64 {
+	if s, ok := r.svcAtLock[p][lock]; ok {
+		return s
+	}
+	dev := gpu.NewDevice(gpu.A100SXM80GB())
+	dev.LockClock(lock)
+	var wsum, tsum float64
+	for _, cl := range r.cfg.Classes {
+		w := cl.Share * cl.LowShare
+		if p == workload.High {
+			w = cl.Share * (1 - cl.LowShare)
+		}
+		if w <= 0 {
+			continue
+		}
+		pl, err := plan.NewInference(plan.InferenceConfig{
+			Model: r.cfg.Model, DType: r.cfg.DType, BatchSize: 1,
+			InputTokens:  (cl.PromptMin + cl.PromptMax) / 2,
+			OutputTokens: (cl.OutputMin + cl.OutputMax) / 2,
+		})
+		if err != nil {
+			continue
+		}
+		var dur time.Duration
+		for _, ph := range pl.Phases() {
+			dur += dev.Run(ph).Duration
+		}
+		wsum += w
+		tsum += w * dur.Seconds()
+	}
+	s := r.svcBase[p]
+	if wsum > 0 {
+		s = tsum / wsum
+	}
+	r.svcAtLock[p][lock] = s
+	return s
+}
+
+// tryAdmit starts queued requests on idle servers while the gate allows.
+func (r *Row) tryAdmit(p workload.Priority, now sim.Time) {
+	limit := r.admitLimit(p, now)
+	for len(r.frontQ[p]) > 0 && r.busy[p] < limit {
+		var idle []*node
+		for _, n := range r.pools[p] {
+			if n.active == nil {
+				idle = append(idle, n)
+			}
+		}
+		if len(idle) == 0 {
+			return
+		}
+		req := r.frontQ[p][0]
+		r.frontQ[p] = r.frontQ[p][1:]
+		r.start(idle[r.dispatchRNG.Intn(len(idle))], now, req)
+	}
+}
+
+// start begins serving a request on a node.
+func (r *Row) start(n *node, now sim.Time, req workload.Request) {
+	p, err := plan.NewInference(plan.InferenceConfig{
+		Model:        r.cfg.Model,
+		DType:        r.cfg.DType,
+		BatchSize:    1,
+		InputTokens:  req.Input,
+		OutputTokens: req.Output,
+	})
+	if err != nil {
+		panic(err) // sizes come from validated classes
+	}
+	n.active = &activeReq{req: req, remaining: p.Phases(), started: now}
+	r.busy[req.Priority]++
+	r.startPhase(n, now)
+}
+
+// startPhase executes the head of the node's remaining phases under the
+// node's current device settings.
+func (r *Row) startPhase(n *node, now sim.Time) {
+	a := n.active
+	for len(a.remaining) > 0 {
+		exec := n.dev.Run(a.remaining[0])
+		if exec.Duration <= 0 {
+			a.remaining = a.remaining[1:]
+			continue
+		}
+		a.exec = exec
+		a.phaseStart = now
+		a.timer = r.eng.AfterCancelable(exec.Duration, func(t sim.Time) {
+			r.phaseDone(n, t)
+		})
+		return
+	}
+	r.complete(n, now)
+}
+
+// phaseDone advances the node past its finished phase.
+func (r *Row) phaseDone(n *node, now sim.Time) {
+	a := n.active
+	a.remaining = a.remaining[1:]
+	if len(a.remaining) > 0 {
+		r.startPhase(n, now)
+		return
+	}
+	r.complete(n, now)
+}
+
+// complete records the request and pulls the next one.
+func (r *Row) complete(n *node, now sim.Time) {
+	a := n.active
+	n.active = nil
+	pri := a.req.Priority
+	r.metrics.Completed[pri]++
+	r.metrics.LatencySec[pri] = append(r.metrics.LatencySec[pri], (now - a.req.Arrival).Seconds())
+	r.metrics.BusySec[pri] += (now - a.started).Seconds()
+	r.busy[pri]--
+	r.tryAdmit(pri, now)
+}
+
+// replan rebuilds the node's in-flight phase after a clock change.
+func (r *Row) replan(n *node, now sim.Time) {
+	a := n.active
+	if a == nil || len(a.remaining) == 0 {
+		return
+	}
+	a.timer.Stop()
+	elapsed := now - a.phaseStart
+	frac := 1.0
+	if a.exec.Duration > 0 {
+		frac = float64(elapsed) / float64(a.exec.Duration)
+	}
+	if frac >= 1 {
+		r.phaseDone(n, now)
+		return
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	a.remaining[0] = a.remaining[0].Scale(1 - frac)
+	r.startPhase(n, now)
+}
+
+// nodePower returns the node's current server power draw.
+func (r *Row) nodePower(n *node, now sim.Time) float64 {
+	var gpuW float64
+	if n.active != nil {
+		gpuW = n.active.exec.PowerAt(now - n.active.phaseStart)
+	} else {
+		gpuW = n.dev.Spec().IdleWatts
+	}
+	gpuW *= float64(n.srv.Spec().GPUCount) * r.cfg.PowerIntensity
+	return n.srv.PowerFromGPUs(gpuW)
+}
+
+// instantUtilization returns row power as a fraction of the provisioned
+// budget at this instant.
+func (r *Row) instantUtilization(now sim.Time) float64 {
+	var w float64
+	for _, n := range r.nodes {
+		w += r.nodePower(n, now)
+	}
+	return w / r.metrics.Provisioned
+}
+
+// brakeLogic engages/releases the row's power brake (§6.2's safety net).
+func (r *Row) brakeLogic(util float64) {
+	switch {
+	case !r.braked && !r.brakePending && util >= r.cfg.BrakeUtil:
+		r.brakePending = true
+		r.metrics.BrakeEvents++
+		r.eng.After(r.cfg.BrakeLatency, func(now sim.Time) {
+			r.brakePending = false
+			r.braked = true
+			r.brakeHeld = now + r.cfg.BrakeHold
+			for _, n := range r.nodes {
+				n.dev.SetBrake(true)
+				r.replan(n, now)
+			}
+		})
+	case r.braked && util < r.cfg.BrakeReleaseUtil && r.eng.Now() >= r.brakeHeld:
+		r.braked = false
+		for _, n := range r.nodes {
+			n.dev.SetBrake(false)
+			r.replan(n, r.eng.Now())
+		}
+	}
+}
+
+// pumpCommands issues pending OOB commands: any node whose desired lock
+// differs from the applied one and has no command in flight gets one. The
+// command lands after the OOB latency (with ±20% jitter) and fails
+// silently with the configured probability, to be re-issued on a later
+// tick — the guardrail the paper says production deployment requires.
+func (r *Row) pumpCommands(now sim.Time) {
+	for _, n := range r.nodes {
+		if n.cmdInFlight || n.desiredLock == n.appliedLock {
+			continue
+		}
+		n.cmdInFlight = true
+		r.metrics.LockCommands++
+		target := n.desiredLock
+		jitter := 0.8 + 0.4*r.oobRNG.Float64()
+		delay := time.Duration(float64(r.cfg.OOBLatency) * jitter)
+		node := n
+		r.eng.After(delay, func(t sim.Time) {
+			node.cmdInFlight = false
+			if r.oobRNG.Float64() < r.cfg.OOBFailureProb {
+				r.metrics.FailedCommands++
+				return // silent failure; re-issued on a later tick
+			}
+			node.appliedLock = target
+			node.dev.LockClock(target)
+			r.replan(node, t)
+			r.tryAdmit(node.pri, t)
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package cluster_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polca/internal/cluster"
+)
+
+// FuzzLoadRequestsCSV ensures the trace parser never panics and that every
+// successfully parsed trace survives a save/load round trip.
+func FuzzLoadRequestsCSV(f *testing.F) {
+	f.Add("arrival_sec,class,priority,input_tokens,output_tokens\n1.0,chat,low,2048,128\n")
+	f.Add("arrival_sec,class,priority,input_tokens,output_tokens\n0.5,search,high,512,1024\n2.0,summarize,low,4096,256\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("a,b,c,d,e\n-1,x,low,1,1\n")
+	f.Add("arrival_sec,class,priority,input_tokens,output_tokens\n1e309,chat,low,1,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		reqs, err := cluster.LoadRequestsCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Loaded traces are sorted and well-formed.
+		for i, r := range reqs {
+			if r.Input <= 0 || r.Output < 0 {
+				t.Fatalf("accepted malformed request %+v", r)
+			}
+			if i > 0 && r.Arrival < reqs[i-1].Arrival {
+				t.Fatal("accepted trace not sorted")
+			}
+		}
+		// Round trip: save and reload yields the same requests.
+		var buf bytes.Buffer
+		if err := cluster.SaveRequestsCSV(&buf, reqs); err != nil {
+			t.Fatalf("save of accepted trace failed: %v", err)
+		}
+		again, err := cluster.LoadRequestsCSV(&buf)
+		if err != nil {
+			t.Fatalf("reload of saved trace failed: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(reqs))
+		}
+	})
+}

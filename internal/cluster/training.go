@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"polca/internal/gpu"
+	"polca/internal/plan"
+	"polca/internal/server"
+	"polca/internal/stats"
+)
+
+// TrainingJob is a synchronous training job occupying a group of servers.
+// All servers in the job execute the same iteration phases in lockstep —
+// the source of the paper's coordinated power swings (Insight 2).
+type TrainingJob struct {
+	Profile plan.TrainingConfig
+	Servers int
+	// StartOffset staggers the job's first iteration.
+	StartOffset time.Duration
+	// IterJitter is the relative standard deviation of per-iteration
+	// duration (stragglers, data loading variation).
+	IterJitter float64
+}
+
+// TrainingRowConfig describes a training cluster row for the Table 4
+// characterization.
+type TrainingRowConfig struct {
+	// ProvisionedPerServerWatts is the per-server power slice. Training
+	// rows are provisioned close to the realistic server peak: the paper
+	// observes only ~3% headroom on training clusters.
+	ProvisionedPerServerWatts float64
+	Jobs                      []TrainingJob
+	// TelemetryInterval is the row manager sampling period.
+	TelemetryInterval time.Duration
+	// Knob optionally applies a uniform frequency lock or power cap to
+	// every GPU in the row (0 values = uncontrolled).
+	LockClockMHz  float64
+	PowerCapWatts float64
+}
+
+// ProductionTraining returns a training row mirroring the paper's
+// production observations: 40 servers split across three synchronized
+// fine-tuning jobs with different trough behaviours.
+func ProductionTraining() TrainingRowConfig {
+	profiles := plan.TrainingProfiles()
+	return TrainingRowConfig{
+		ProvisionedPerServerWatts: 6000,
+		TelemetryInterval:         2 * time.Second,
+		Jobs: []TrainingJob{
+			{Profile: profiles[0], Servers: 18, StartOffset: 0, IterJitter: 0.05},                       // RoBERTa
+			{Profile: profiles[1], Servers: 12, StartOffset: 700 * time.Millisecond, IterJitter: 0.05},  // GPT-NeoX
+			{Profile: profiles[2], Servers: 10, StartOffset: 1500 * time.Millisecond, IterJitter: 0.05}, // Flan-T5
+		},
+	}
+}
+
+// Servers returns the total server count across jobs.
+func (c TrainingRowConfig) Servers() int {
+	n := 0
+	for _, j := range c.Jobs {
+		n += j.Servers
+	}
+	return n
+}
+
+// ProvisionedWatts returns the row's power budget.
+func (c TrainingRowConfig) ProvisionedWatts() float64 {
+	return float64(c.Servers()) * c.ProvisionedPerServerWatts
+}
+
+// Validate reports whether the configuration is usable.
+func (c TrainingRowConfig) Validate() error {
+	switch {
+	case c.ProvisionedPerServerWatts <= 0:
+		return fmt.Errorf("cluster: no per-server budget")
+	case len(c.Jobs) == 0:
+		return fmt.Errorf("cluster: no training jobs")
+	case c.TelemetryInterval <= 0:
+		return fmt.Errorf("cluster: non-positive telemetry interval")
+	}
+	for _, j := range c.Jobs {
+		if j.Servers <= 0 {
+			return fmt.Errorf("cluster: job with no servers")
+		}
+		if j.IterJitter < 0 || j.IterJitter > 0.5 {
+			return fmt.Errorf("cluster: bad iteration jitter %v", j.IterJitter)
+		}
+	}
+	return nil
+}
+
+// trainingSegment is one constant-power stretch of a job's execution.
+type trainingSegment struct {
+	until time.Duration // end time of the segment
+	watts float64       // per-server power
+}
+
+// trainingWarmup is the initial stretch discarded from training-row
+// series: the cold-start ramp (all jobs beginning within seconds) is not a
+// steady-state power swing and would otherwise dominate the Table 4 spike
+// metrics.
+const trainingWarmup = 2 * time.Minute
+
+// SimulateTraining generates the row's utilization series over the horizon
+// (Table 4's training column), after discarding a cold-start warmup. It is
+// deterministic for a given source.
+func SimulateTraining(cfg TrainingRowConfig, horizon time.Duration, rng *rand.Rand) (stats.Series, error) {
+	if err := cfg.Validate(); err != nil {
+		return stats.Series{}, err
+	}
+	horizon += trainingWarmup
+	spec := server.DGXA100(gpu.A100SXM40GB())
+	srv := server.New(0, spec)
+
+	// Build each job's piecewise-constant per-server power timeline.
+	timelines := make([][]trainingSegment, len(cfg.Jobs))
+	for ji, job := range cfg.Jobs {
+		tr, err := plan.NewTraining(job.Profile)
+		if err != nil {
+			return stats.Series{}, err
+		}
+		dev := gpu.NewDevice(spec.GPU)
+		if cfg.LockClockMHz > 0 {
+			dev.LockClock(cfg.LockClockMHz)
+		}
+		if cfg.PowerCapWatts > 0 {
+			dev.SetPowerCap(cfg.PowerCapWatts)
+		}
+		// Execute one iteration to obtain the phase segments; repeat with
+		// jitter until the horizon. Each phase is recorded at its mean
+		// power — the row manager's interval-averaged readings smooth the
+		// ~100 ms reactive-cap overshoot out of row-level data.
+		var iter []gpu.Segment
+		for _, ph := range tr.Phases() {
+			e := dev.Run(ph)
+			if e.Duration <= 0 {
+				continue
+			}
+			iter = append(iter, gpu.Segment{
+				Duration: e.Duration,
+				Counters: gpu.Counters{PowerWatts: e.MeanPower()},
+			})
+		}
+		var segs []trainingSegment
+		at := job.StartOffset
+		if at > 0 {
+			segs = append(segs, trainingSegment{until: at, watts: srv.IdleWatts()})
+		}
+		for at < horizon {
+			jit := 1 + job.IterJitter*rng.NormFloat64()
+			if jit < 0.5 {
+				jit = 0.5
+			}
+			for _, s := range iter {
+				at += time.Duration(float64(s.Duration) * jit)
+				gpuW := s.Counters.PowerWatts * float64(spec.GPUCount)
+				segs = append(segs, trainingSegment{until: at, watts: srv.PowerFromGPUs(gpuW)})
+			}
+		}
+		timelines[ji] = segs
+	}
+
+	// Sample the aggregate at the telemetry interval, skipping the warmup.
+	skip := int(trainingWarmup / cfg.TelemetryInterval)
+	n := int(horizon/cfg.TelemetryInterval) - skip
+	out := stats.Series{Start: 0, Step: cfg.TelemetryInterval, Values: make([]float64, n)}
+	idx := make([]int, len(cfg.Jobs))
+	prov := cfg.ProvisionedWatts()
+	for i := 0; i < n; i++ {
+		ts := time.Duration(i+skip) * cfg.TelemetryInterval
+		var total float64
+		for ji, segs := range timelines {
+			for idx[ji] < len(segs) && segs[idx[ji]].until <= ts {
+				idx[ji]++
+			}
+			w := srv.IdleWatts()
+			if idx[ji] < len(segs) {
+				w = segs[idx[ji]].watts
+			}
+			total += w * float64(cfg.Jobs[ji].Servers)
+		}
+		out.Values[i] = total / prov
+	}
+	return out, nil
+}
+
+// ClusterComparison holds the Table 4 metrics for one cluster type.
+type ClusterComparison struct {
+	Name            string
+	PeakUtilization float64
+	MeanUtilization float64
+	MaxSpike2s      float64 // largest rise within 2 s, fraction of provisioned
+	MaxSpike40s     float64 // largest rise within the OOB capping latency
+}
+
+// SummarizeUtilization derives the Table 4 row metrics from a utilization
+// series.
+func SummarizeUtilization(name string, util stats.Series) ClusterComparison {
+	return ClusterComparison{
+		Name:            name,
+		PeakUtilization: util.Peak(),
+		MeanUtilization: util.Mean(),
+		MaxSpike2s:      util.MaxRise(2 * time.Second),
+		MaxSpike40s:     util.MaxRise(40 * time.Second),
+	}
+}

@@ -1,0 +1,153 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/plan"
+)
+
+func TestTrainingConfigValidation(t *testing.T) {
+	if err := cluster.ProductionTraining().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cluster.ProductionTraining()
+	bad.ProvisionedPerServerWatts = 0
+	if bad.Validate() == nil {
+		t.Error("zero budget should fail")
+	}
+	bad = cluster.ProductionTraining()
+	bad.Jobs = nil
+	if bad.Validate() == nil {
+		t.Error("no jobs should fail")
+	}
+	bad = cluster.ProductionTraining()
+	bad.Jobs[0].Servers = 0
+	if bad.Validate() == nil {
+		t.Error("empty job should fail")
+	}
+	bad = cluster.ProductionTraining()
+	bad.Jobs[0].IterJitter = 0.9
+	if bad.Validate() == nil {
+		t.Error("huge jitter should fail")
+	}
+	bad = cluster.ProductionTraining()
+	bad.TelemetryInterval = 0
+	if bad.Validate() == nil {
+		t.Error("no telemetry interval should fail")
+	}
+}
+
+func TestTrainingRowArithmetic(t *testing.T) {
+	cfg := cluster.ProductionTraining()
+	if cfg.Servers() != 40 {
+		t.Errorf("servers = %d, want 40", cfg.Servers())
+	}
+	if cfg.ProvisionedWatts() != float64(cfg.Servers())*cfg.ProvisionedPerServerWatts {
+		t.Error("provisioned watts arithmetic wrong")
+	}
+}
+
+func TestTrainingClusterTable4(t *testing.T) {
+	util, err := cluster.SimulateTraining(cluster.ProductionTraining(), time.Hour, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cluster.SummarizeUtilization("training", util)
+	// Table 4 training column: peak ~97%, coordinated swings up to 37.5% of
+	// provisioned power within 2 s.
+	if s.PeakUtilization < 0.93 || s.PeakUtilization > 1.0 {
+		t.Errorf("training peak utilization = %.3f, want ~0.97", s.PeakUtilization)
+	}
+	if s.MaxSpike2s < 0.25 || s.MaxSpike2s > 0.55 {
+		t.Errorf("training 2s spike = %.3f, want ~0.375", s.MaxSpike2s)
+	}
+	if s.MeanUtilization < 0.7 {
+		t.Errorf("training mean utilization = %.3f, want high", s.MeanUtilization)
+	}
+	if s.Name != "training" {
+		t.Error("name lost")
+	}
+}
+
+func TestTrainingDeterminism(t *testing.T) {
+	cfg := cluster.ProductionTraining()
+	a, err := cluster.SimulateTraining(cfg, 10*time.Minute, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cluster.SimulateTraining(cfg, 10*time.Minute, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("training simulation not deterministic")
+		}
+	}
+}
+
+func TestTrainingCappingReducesSwing(t *testing.T) {
+	// Insight 3: a power cap clips training peaks (reducing swing
+	// magnitude), a frequency lock lowers the whole curve.
+	base := cluster.ProductionTraining()
+	capped := cluster.ProductionTraining()
+	capped.PowerCapWatts = 325
+	locked := cluster.ProductionTraining()
+	locked.LockClockMHz = 1100
+
+	ub, err := cluster.SimulateTraining(base, 20*time.Minute, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, err := cluster.SimulateTraining(capped, 20*time.Minute, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ul, err := cluster.SimulateTraining(locked, 20*time.Minute, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := cluster.SummarizeUtilization("base", ub)
+	sc := cluster.SummarizeUtilization("capped", uc)
+	sl := cluster.SummarizeUtilization("locked", ul)
+	if sc.PeakUtilization >= sb.PeakUtilization {
+		t.Errorf("capping did not reduce peak: %.3f vs %.3f", sc.PeakUtilization, sb.PeakUtilization)
+	}
+	if sc.MaxSpike2s >= sb.MaxSpike2s {
+		t.Errorf("capping did not reduce swing: %.3f vs %.3f", sc.MaxSpike2s, sb.MaxSpike2s)
+	}
+	if sl.PeakUtilization >= sb.PeakUtilization {
+		t.Errorf("locking did not reduce peak: %.3f vs %.3f", sl.PeakUtilization, sb.PeakUtilization)
+	}
+	if sl.MeanUtilization >= sb.MeanUtilization {
+		t.Error("locking should lower the whole curve")
+	}
+}
+
+func TestTrainingVsInferenceHeadroom(t *testing.T) {
+	// Insight 9 / Table 4: inference offers far more headroom (~21%) than
+	// training (~3%).
+	tr, err := cluster.SimulateTraining(cluster.ProductionTraining(), time.Hour, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cluster.SummarizeUtilization("training", tr)
+	trainHeadroom := 1 - st.PeakUtilization
+	if trainHeadroom > 0.07 {
+		t.Errorf("training headroom = %.3f, want tiny (~0.03)", trainHeadroom)
+	}
+	// Inference headroom measured in the row tests: peak ~0.77 → ~0.23.
+	// Here we only assert the training side; the cross-cluster comparison
+	// lives in the experiments package.
+}
+
+func TestTrainingBadProfileRejected(t *testing.T) {
+	cfg := cluster.ProductionTraining()
+	cfg.Jobs[0].Profile = plan.TrainingConfig{}
+	if _, err := cluster.SimulateTraining(cfg, time.Minute, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want error for invalid training profile")
+	}
+}

@@ -1,0 +1,243 @@
+// Package disagg implements the phase-aware power management extensions
+// the paper proposes for LLM inference clusters (§5.2):
+//
+//   - Phase-aware frequency scaling: run the compute-bound prompt phase at
+//     full clocks and drop the SM clock for the memory-bound token phase,
+//     reclaiming power with little performance loss.
+//   - Prompt/token disaggregation ("phase splitting", the paper cites its
+//     companion Splitwise work): serve prompt and token phases on separate
+//     GPU pools so that only the token pool needs to be power-capped, and
+//     size the pools to the workload's phase-time ratio.
+//
+// Both are evaluated analytically against the same GPU and plan models the
+// main characterization uses, so their savings are directly comparable to
+// Figures 6-10.
+package disagg
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"polca/internal/gpu"
+	"polca/internal/plan"
+)
+
+// PhasePolicy assigns an SM clock per inference phase.
+type PhasePolicy struct {
+	// PromptClockMHz is the SM lock during prompt processing (0 = boost).
+	PromptClockMHz float64
+	// TokenClockMHz is the SM lock during token sampling (0 = boost).
+	TokenClockMHz float64
+}
+
+// Uniform returns a policy locking both phases to the same clock, the
+// baseline POLCA applies today.
+func Uniform(mhz float64) PhasePolicy {
+	return PhasePolicy{PromptClockMHz: mhz, TokenClockMHz: mhz}
+}
+
+// TokenOnly returns the paper's suggested phase-aware policy: full-speed
+// prompts, down-clocked token sampling.
+func TokenOnly(mhz float64) PhasePolicy {
+	return PhasePolicy{TokenClockMHz: mhz}
+}
+
+// String labels the policy.
+func (p PhasePolicy) String() string {
+	f := func(mhz float64) string {
+		if mhz == 0 {
+			return "boost"
+		}
+		return fmt.Sprintf("%.0fMHz", mhz)
+	}
+	return fmt.Sprintf("prompt=%s/token=%s", f(p.PromptClockMHz), f(p.TokenClockMHz))
+}
+
+// PhaseReport quantifies one policy on one workload.
+type PhaseReport struct {
+	Policy      PhasePolicy
+	Latency     time.Duration
+	PeakWatts   float64 // per GPU
+	MeanWatts   float64 // per GPU, time-weighted over the request
+	EnergyJ     float64 // per GPU
+	PromptWatts float64
+	TokenWatts  float64
+}
+
+// EvaluatePhasePolicy executes an inference plan under per-phase clocks.
+func EvaluatePhasePolicy(cfg plan.InferenceConfig, pol PhasePolicy) (PhaseReport, error) {
+	p, err := plan.NewInference(cfg)
+	if err != nil {
+		return PhaseReport{}, err
+	}
+	dev := gpu.NewDevice(gpu.A100SXM80GB())
+
+	dev.LockClock(pol.PromptClockMHz)
+	pe := dev.Run(p.Prompt)
+
+	var te gpu.Exec
+	if p.TokenSteps > 0 {
+		dev.LockClock(pol.TokenClockMHz)
+		te = dev.Run(p.Token)
+	}
+
+	total := pe.Duration + te.Duration
+	energy := pe.Energy() + te.Energy()
+	rep := PhaseReport{
+		Policy:      pol,
+		Latency:     total,
+		PeakWatts:   math.Max(pe.PeakPower(), te.PeakPower()),
+		PromptWatts: pe.MeanPower(),
+		TokenWatts:  te.MeanPower(),
+		EnergyJ:     energy,
+	}
+	if total > 0 {
+		rep.MeanWatts = energy / total.Seconds()
+	}
+	return rep, nil
+}
+
+// PhaseComparison contrasts phase-aware scaling against the uniform
+// alternatives on one workload.
+type PhaseComparison struct {
+	Baseline   PhaseReport // no capping at all
+	UniformLow PhaseReport // both phases at the low clock
+	PhaseAware PhaseReport // prompt at boost, tokens at the low clock
+
+	// PhaseAwareSavings is mean power saved vs baseline.
+	PhaseAwareSavings float64
+	// PhaseAwareSlowdown is latency stretch vs baseline.
+	PhaseAwareSlowdown float64
+	// RecoveredLatency is how much of the uniform policy's slowdown the
+	// phase-aware policy wins back (1 = all of it).
+	RecoveredLatency float64
+}
+
+// ComparePhaseAware evaluates the three policies at the given token clock.
+func ComparePhaseAware(cfg plan.InferenceConfig, tokenClockMHz float64) (PhaseComparison, error) {
+	base, err := EvaluatePhasePolicy(cfg, PhasePolicy{})
+	if err != nil {
+		return PhaseComparison{}, err
+	}
+	uni, err := EvaluatePhasePolicy(cfg, Uniform(tokenClockMHz))
+	if err != nil {
+		return PhaseComparison{}, err
+	}
+	aware, err := EvaluatePhasePolicy(cfg, TokenOnly(tokenClockMHz))
+	if err != nil {
+		return PhaseComparison{}, err
+	}
+	cmp := PhaseComparison{Baseline: base, UniformLow: uni, PhaseAware: aware}
+	if base.MeanWatts > 0 {
+		cmp.PhaseAwareSavings = 1 - aware.MeanWatts/base.MeanWatts
+	}
+	if base.Latency > 0 {
+		cmp.PhaseAwareSlowdown = float64(aware.Latency)/float64(base.Latency) - 1
+	}
+	uniSlow := float64(uni.Latency) - float64(base.Latency)
+	if uniSlow > 0 {
+		cmp.RecoveredLatency = (float64(uni.Latency) - float64(aware.Latency)) / uniSlow
+	}
+	return cmp, nil
+}
+
+// SplitConfig describes a disaggregated serving deployment: dedicated
+// prompt machines feed dedicated token machines, transferring the KV cache
+// over the cluster interconnect between phases.
+type SplitConfig struct {
+	Workload plan.InferenceConfig
+	// TokenClockMHz locks the token pool's clocks (prompt pool boosts).
+	TokenClockMHz float64
+	// InterconnectGBps is the prompt->token KV-cache transfer bandwidth
+	// per server (the paper notes LLM clusters have high-bandwidth
+	// InfiniBand that makes the transfer affordable).
+	InterconnectGBps float64
+}
+
+// SplitReport sizes and evaluates a disaggregated deployment.
+type SplitReport struct {
+	Config SplitConfig
+
+	PromptSeconds   float64 // per request, on the prompt pool
+	TransferSeconds float64 // KV-cache handoff
+	TokenSeconds    float64 // per request, on the token pool
+
+	// PoolRatio is token-pool machines per prompt-pool machine needed to
+	// keep both pools equally utilized.
+	PoolRatio float64
+
+	// Latency is the end-to-end request latency including the handoff.
+	Latency time.Duration
+	// LatencyOverhead is the stretch vs a colocated uncapped deployment.
+	LatencyOverhead float64
+
+	// FleetMeanWatts is the utilization-weighted mean per-GPU power across
+	// both pools; FleetBaseWatts is the colocated equivalent.
+	FleetMeanWatts float64
+	FleetBaseWatts float64
+	// PowerSavings is the fleet-level mean power reduction.
+	PowerSavings float64
+}
+
+// EvaluateSplit analyzes a disaggregated deployment of the workload.
+func EvaluateSplit(cfg SplitConfig) (SplitReport, error) {
+	if cfg.InterconnectGBps <= 0 {
+		return SplitReport{}, fmt.Errorf("disagg: non-positive interconnect bandwidth")
+	}
+	p, err := plan.NewInference(cfg.Workload)
+	if err != nil {
+		return SplitReport{}, err
+	}
+	if p.TokenSteps == 0 {
+		return SplitReport{}, fmt.Errorf("disagg: %s has no token phase to split", cfg.Workload.Model.Name)
+	}
+
+	promptDev := gpu.NewDevice(gpu.A100SXM80GB())
+	pe := promptDev.Run(p.Prompt)
+
+	tokenDev := gpu.NewDevice(gpu.A100SXM80GB())
+	tokenDev.LockClock(cfg.TokenClockMHz)
+	te := tokenDev.Run(p.Token)
+
+	// KV cache produced by the prompt phase must move pools.
+	m := cfg.Workload.Model
+	kvBytes := m.KVBytesPerToken(cfg.Workload.DType) *
+		float64(cfg.Workload.BatchSize) * float64(cfg.Workload.InputTokens)
+	transfer := kvBytes / (cfg.InterconnectGBps * 1e9)
+
+	// Colocated uncapped baseline.
+	baseDev := gpu.NewDevice(gpu.A100SXM80GB())
+	bp := baseDev.Run(p.Prompt)
+	bt := baseDev.Run(p.Token)
+	baseLatency := bp.Duration + bt.Duration
+	baseEnergy := bp.Energy() + bt.Energy()
+
+	rep := SplitReport{
+		Config:          cfg,
+		PromptSeconds:   pe.Duration.Seconds(),
+		TransferSeconds: transfer,
+		TokenSeconds:    te.Duration.Seconds(),
+		Latency:         pe.Duration + te.Duration + secToDur(transfer),
+	}
+	if pe.Duration > 0 {
+		rep.PoolRatio = te.Duration.Seconds() / pe.Duration.Seconds()
+	}
+	if baseLatency > 0 {
+		rep.LatencyOverhead = float64(rep.Latency)/float64(baseLatency) - 1
+	}
+	// Fleet power: pools sized by PoolRatio, each fully pipelined.
+	promptShare := 1 / (1 + rep.PoolRatio)
+	tokenShare := rep.PoolRatio / (1 + rep.PoolRatio)
+	rep.FleetMeanWatts = promptShare*pe.MeanPower() + tokenShare*te.MeanPower()
+	rep.FleetBaseWatts = baseEnergy / baseLatency.Seconds()
+	if rep.FleetBaseWatts > 0 {
+		rep.PowerSavings = 1 - rep.FleetMeanWatts/rep.FleetBaseWatts
+	}
+	return rep, nil
+}
+
+// secToDur converts seconds to a duration.
+func secToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,146 @@
+package disagg
+
+import (
+	"testing"
+
+	"polca/internal/llm"
+	"polca/internal/plan"
+)
+
+func bloomCfg() plan.InferenceConfig {
+	return plan.InferenceConfig{
+		Model: llm.MustByName("BLOOM-176B"), DType: llm.FP16,
+		BatchSize: 1, InputTokens: 2048, OutputTokens: 512,
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if got := (PhasePolicy{}).String(); got != "prompt=boost/token=boost" {
+		t.Errorf("String = %q", got)
+	}
+	if got := TokenOnly(1110).String(); got != "prompt=boost/token=1110MHz" {
+		t.Errorf("String = %q", got)
+	}
+	if Uniform(1110).PromptClockMHz != 1110 || Uniform(1110).TokenClockMHz != 1110 {
+		t.Error("Uniform wrong")
+	}
+}
+
+func TestEvaluatePhasePolicy(t *testing.T) {
+	rep, err := EvaluatePhasePolicy(bloomCfg(), PhasePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency <= 0 || rep.PeakWatts <= rep.TokenWatts {
+		t.Errorf("implausible report %+v", rep)
+	}
+	if rep.PromptWatts <= rep.TokenWatts {
+		t.Error("prompt phase should draw more power than token phase")
+	}
+	if _, err := EvaluatePhasePolicy(plan.InferenceConfig{}, PhasePolicy{}); err == nil {
+		t.Error("want error for empty config")
+	}
+}
+
+func TestPhaseAwareRecoversPromptLatency(t *testing.T) {
+	// §5.2: lower frequencies during the token phase reduce power without
+	// substantially impacting performance — and without the prompt-phase
+	// slowdown the uniform lock pays.
+	cmp, err := ComparePhaseAware(bloomCfg(), 1110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PhaseAwareSavings < 0.05 {
+		t.Errorf("phase-aware savings = %.3f, want >= 5%%", cmp.PhaseAwareSavings)
+	}
+	if cmp.PhaseAwareSlowdown > 0.06 {
+		t.Errorf("phase-aware slowdown = %.3f, want small", cmp.PhaseAwareSlowdown)
+	}
+	// The phase-aware policy must be no slower than the uniform lock and
+	// recover some of its prompt-phase slowdown.
+	if cmp.PhaseAware.Latency > cmp.UniformLow.Latency {
+		t.Error("phase-aware policy slower than uniform lock")
+	}
+	if cmp.RecoveredLatency <= 0 {
+		t.Errorf("recovered latency = %.3f, want positive", cmp.RecoveredLatency)
+	}
+	// Its peak power equals the prompt spike (uncapped prompts).
+	if cmp.PhaseAware.PeakWatts < cmp.UniformLow.PeakWatts {
+		t.Error("phase-aware peak should be the uncapped prompt spike")
+	}
+	// Token-phase power matches the uniform policy's.
+	diff := cmp.PhaseAware.TokenWatts - cmp.UniformLow.TokenWatts
+	if diff > 1 || diff < -1 {
+		t.Errorf("token-phase power differs: %v vs %v", cmp.PhaseAware.TokenWatts, cmp.UniformLow.TokenWatts)
+	}
+}
+
+func TestPhaseAwareMonotoneInClock(t *testing.T) {
+	prev := -1.0
+	for _, mhz := range []float64{1305, 1200, 1110, 1000} {
+		cmp, err := ComparePhaseAware(bloomCfg(), mhz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.PhaseAwareSavings < prev {
+			t.Fatalf("savings not monotone in down-clocking at %v MHz", mhz)
+		}
+		prev = cmp.PhaseAwareSavings
+	}
+}
+
+func TestEvaluateSplit(t *testing.T) {
+	rep, err := EvaluateSplit(SplitConfig{
+		Workload:         bloomCfg(),
+		TokenClockMHz:    1110,
+		InterconnectGBps: 25, // 200 Gb/s InfiniBand
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Token phases dominate request time: the token pool must be larger.
+	if rep.PoolRatio < 2 {
+		t.Errorf("pool ratio = %.1f, want token-heavy (Figure 6 phase times)", rep.PoolRatio)
+	}
+	// The KV handoff is affordable on InfiniBand (paper's premise).
+	if rep.TransferSeconds > 0.2*rep.TokenSeconds {
+		t.Errorf("transfer %.2fs too large vs token time %.2fs", rep.TransferSeconds, rep.TokenSeconds)
+	}
+	if rep.LatencyOverhead > 0.08 {
+		t.Errorf("latency overhead = %.3f, want < 8%%", rep.LatencyOverhead)
+	}
+	// Fleet power drops: most machines are down-clocked token servers.
+	if rep.PowerSavings < 0.05 {
+		t.Errorf("fleet power savings = %.3f, want >= 5%%", rep.PowerSavings)
+	}
+}
+
+func TestEvaluateSplitErrors(t *testing.T) {
+	if _, err := EvaluateSplit(SplitConfig{Workload: bloomCfg()}); err == nil {
+		t.Error("want error for zero interconnect bandwidth")
+	}
+	enc := plan.InferenceConfig{
+		Model: llm.MustByName("RoBERTa-355M"), DType: llm.FP16,
+		BatchSize: 1, InputTokens: 512, OutputTokens: 0,
+	}
+	if _, err := EvaluateSplit(SplitConfig{Workload: enc, InterconnectGBps: 25}); err == nil {
+		t.Error("want error for encoder-only workload")
+	}
+	if _, err := EvaluateSplit(SplitConfig{Workload: plan.InferenceConfig{}, InterconnectGBps: 25}); err == nil {
+		t.Error("want error for empty workload")
+	}
+}
+
+func TestSplitFasterInterconnectHelps(t *testing.T) {
+	slow, err := EvaluateSplit(SplitConfig{Workload: bloomCfg(), TokenClockMHz: 1110, InterconnectGBps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := EvaluateSplit(SplitConfig{Workload: bloomCfg(), TokenClockMHz: 1110, InterconnectGBps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Latency >= slow.Latency {
+		t.Error("faster interconnect should cut the handoff latency")
+	}
+}

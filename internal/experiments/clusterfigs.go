@@ -1,0 +1,586 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/polca"
+	"polca/internal/render"
+	"polca/internal/sim"
+	"polca/internal/stats"
+	"polca/internal/trace"
+	"polca/internal/workload"
+)
+
+func init() {
+	register("fit", "§6.4: Synthetic trace fit (MAPE) and trained thresholds", runFit)
+	register("tab4", "Table 4: LLM cluster power usage in production", runTable4)
+	register("fig13", "Figure 13: Threshold space search", runFig13)
+	register("fig14", "Figure 14: Server throughput under POLCA", runFig14)
+	register("fig15a", "Figure 15a: T1 capping frequency sweep", runFig15a)
+	register("fig15b", "Figure 15b: Impact of the low-priority server fraction", runFig15b)
+	register("fig16", "Figure 16: Row power utilization, default vs +30% servers", runFig16)
+	register("fig17", "Figure 17: Policy comparison at 30% oversubscription", runFig17)
+	register("fig18", "Figure 18: Power brake events per policy", runFig18)
+}
+
+// rowSpec identifies one cluster simulation for caching.
+type rowSpec struct {
+	policy    string
+	added     float64
+	intensity float64
+	lpFrac    float64
+	days      int
+	lpBaseMHz float64 // 0 = policy default
+	t1, t2    float64 // 0 = policy default
+}
+
+var (
+	evalMu    sync.Mutex
+	evalCache = map[string]*cluster.Metrics{}
+)
+
+// buildController instantiates the policy named in the spec.
+func buildController(s rowSpec) cluster.Controller {
+	switch s.policy {
+	case "polca":
+		cfg := polca.DefaultConfig()
+		if s.t1 > 0 {
+			cfg.T1, cfg.T2 = s.t1, s.t2
+		}
+		if s.lpBaseMHz > 0 {
+			cfg.LPBaseMHz = s.lpBaseMHz
+		}
+		return polca.New(cfg)
+	case "1tl":
+		return polca.NewSingleThresholdLowPri()
+	case "1ta":
+		return polca.NewSingleThresholdAll()
+	case "nocap":
+		return polca.NoCap{}
+	case "ladder3":
+		ladder, err := polca.NewLadder("3-rung", []polca.Rung{
+			{Trigger: 0.76, Margin: 0.05, Pool: workload.Low, LockMHz: 1335},
+			{Trigger: 0.83, Margin: 0.05, Pool: workload.Low, LockMHz: 1200},
+			{Trigger: 0.89, Margin: 0.05, Pool: workload.Low, LockMHz: 1050},
+			{Trigger: 0.89, Margin: 0.05, Pool: workload.High, LockMHz: 1305, Delay: 1},
+		})
+		if err != nil {
+			panic(err)
+		}
+		return ladder
+	}
+	panic("experiments: unknown policy " + s.policy)
+}
+
+// simulateRow runs (or returns the cached result of) one row simulation.
+func simulateRow(o Options, s rowSpec) (*cluster.Metrics, error) {
+	key := fmt.Sprintf("%d/%d/%+v", o.Seed, o.RowServers, s)
+	evalMu.Lock()
+	if m, ok := evalCache[key]; ok {
+		evalMu.Unlock()
+		return m, nil
+	}
+	evalMu.Unlock()
+
+	cfg := cluster.Production()
+	cfg.BaseServers = o.RowServers
+	cfg.AddedFraction = s.added
+	cfg.PowerIntensity = s.intensity
+	if s.lpFrac > 0 {
+		cfg.LowPriorityFraction = s.lpFrac
+	}
+	cfg.Seed = o.Seed
+
+	// The trace is fitted against the *profiled* workload (intensity 1):
+	// POLCA's operators sized the policy before workloads drifted.
+	fitCfg := cfg
+	fitCfg.PowerIntensity = 1
+	ref := trace.ProductionInference().Reference(horizonFromDays(s.days), newSeededRand(o.Seed, "ref"))
+	plan, err := trace.FitArrivals(ref, fitCfg.Shape(), 5*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	plan = plan.Scale(1 + s.added)
+
+	eng := sim.New(o.Seed)
+	row := cluster.NewRow(eng, cfg, buildController(s))
+	m := row.Run(plan)
+
+	evalMu.Lock()
+	evalCache[key] = m
+	evalMu.Unlock()
+	return m, nil
+}
+
+// latp returns the given percentile of the run's latencies for a priority.
+func latp(m *cluster.Metrics, pri workload.Priority, p float64) float64 {
+	return stats.Percentile(m.LatencySec[pri], p)
+}
+
+// --- §6.4 fit ---
+
+// FitData reports the synthetic-trace validation.
+type FitData struct {
+	// ModelMAPE is the analytic check: the plan's predicted utilization vs
+	// the reference (small by construction).
+	ModelMAPE float64
+	// SimMAPE is the paper's end-to-end criterion: the *simulated* row
+	// power timeseries vs the reference it was fitted to, at 5-minute
+	// granularity (§6.4 accepts <= 3%).
+	SimMAPE    float64
+	Trained    polca.Config
+	MaxRise40s float64
+}
+
+func runFit(o Options) (Result, error) {
+	cfg := cluster.Production()
+	cfg.BaseServers = o.RowServers
+	ref := trace.ProductionInference().Reference(horizonFromDays(o.TrainDays), newSeededRand(o.Seed, "ref"))
+	plan, err := trace.FitArrivals(ref, cfg.Shape(), 5*time.Minute)
+	if err != nil {
+		return Result{}, err
+	}
+	modelMAPE, err := trace.ValidateFit(ref, plan, cfg.Shape())
+	if err != nil {
+		return Result{}, err
+	}
+
+	// End-to-end: replay the fitted trace through the simulator and
+	// compare the resulting power series against the reference.
+	m, err := simulateRow(o, rowSpec{policy: "nocap", added: 0, intensity: 1, days: o.TrainDays})
+	if err != nil {
+		return Result{}, err
+	}
+	bucket := 5 * time.Minute
+	simSeries := m.Util.Downsample(bucket)
+	refSeries := ref.Downsample(bucket)
+	n := simSeries.Len()
+	if refSeries.Len() < n {
+		n = refSeries.Len()
+	}
+	simMAPE, err := stats.MAPE(refSeries.Values[:n], simSeries.Values[:n])
+	if err != nil {
+		return Result{}, err
+	}
+
+	trained := polca.TrainThresholds(ref, cfg.BrakeUtil, cfg.OOBLatency)
+	data := FitData{ModelMAPE: modelMAPE, SimMAPE: simMAPE, Trained: trained, MaxRise40s: ref.MaxRise(40 * time.Second)}
+	text := fmt.Sprintf("Analytic fit MAPE (plan vs reference):          %s\n", pct(modelMAPE)) +
+		fmt.Sprintf("End-to-end MAPE (simulated power vs reference): %s (paper accepts <= 3%%)\n", pct(simMAPE)) +
+		fmt.Sprintf("Max reference rise in 40s (OOB latency): %s\n", pct(data.MaxRise40s)) +
+		fmt.Sprintf("Trained thresholds from first %d day(s): T1=%s T2=%s\n", o.TrainDays, pct(trained.T1), pct(trained.T2))
+	return Result{Text: text, Data: data}, nil
+}
+
+// --- Table 4 ---
+
+// Table4Data holds both cluster comparisons.
+type Table4Data struct {
+	Training  cluster.ClusterComparison
+	Inference cluster.ClusterComparison
+}
+
+func runTable4(o Options) (Result, error) {
+	trainDays := 1
+	trainUtil, err := cluster.SimulateTraining(cluster.ProductionTraining(), horizonFromDays(trainDays), newSeededRand(o.Seed, "train-row"))
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := simulateRow(o, rowSpec{policy: "nocap", added: 0, intensity: 1, days: o.SweepDays})
+	if err != nil {
+		return Result{}, err
+	}
+	data := Table4Data{
+		Training:  cluster.SummarizeUtilization("training", trainUtil),
+		Inference: cluster.SummarizeUtilization("inference", m.Util),
+	}
+	cells := [][]string{
+		{"Peak power utilization", pct(data.Training.PeakUtilization), pct(data.Inference.PeakUtilization)},
+		{"Mean power utilization", pct(data.Training.MeanUtilization), pct(data.Inference.MeanUtilization)},
+		{"Max. power spike in 2s", pct(data.Training.MaxSpike2s), pct(data.Inference.MaxSpike2s)},
+		{"Max. power spike in 40s", pct(data.Training.MaxSpike40s), pct(data.Inference.MaxSpike40s)},
+		{"Power headroom", pct(1 - data.Training.PeakUtilization), pct(1 - data.Inference.PeakUtilization)},
+	}
+	return Result{Text: table([]string{"Metric", "Training", "Inference"}, cells), Data: data}, nil
+}
+
+// --- Figure 13 ---
+
+// Fig13Point is one (threshold combo, added fraction) outcome.
+type Fig13Point struct {
+	T1, T2  float64
+	Added   float64
+	Brakes  int
+	NormP50 map[workload.Priority]float64
+	NormP99 map[workload.Priority]float64
+}
+
+// Fig13Data carries the sweep plus the derived safe-added frontier.
+type Fig13Data struct {
+	Points []Fig13Point
+	// MaxSafeAdded is the largest tested added-fraction with zero brakes
+	// per combo, keyed "75-85" style.
+	MaxSafeAdded map[string]float64
+}
+
+func comboKey(t1, t2 float64) string {
+	return fmt.Sprintf("%.0f-%.0f", t1*100, t2*100)
+}
+
+func runFig13(o Options) (Result, error) {
+	combos := [][2]float64{{0.75, 0.85}, {0.80, 0.89}, {0.85, 0.95}}
+	added := []float64{0, 0.10, 0.20, 0.25, 0.30, 0.35, 0.40, 0.50}
+	if o.Quick {
+		added = []float64{0, 0.30}
+	}
+	data := Fig13Data{MaxSafeAdded: map[string]float64{}}
+	for _, c := range combos {
+		var base *cluster.Metrics
+		for _, a := range added {
+			m, err := simulateRow(o, rowSpec{policy: "polca", t1: c[0], t2: c[1], added: a, intensity: 1, days: o.SweepDays})
+			if err != nil {
+				return Result{}, err
+			}
+			if a == 0 {
+				base = m
+			}
+			pt := Fig13Point{
+				T1: c[0], T2: c[1], Added: a, Brakes: m.BrakeEvents,
+				NormP50: map[workload.Priority]float64{},
+				NormP99: map[workload.Priority]float64{},
+			}
+			for _, pri := range []workload.Priority{workload.Low, workload.High} {
+				pt.NormP50[pri] = latp(m, pri, 50) / latp(base, pri, 50)
+				pt.NormP99[pri] = latp(m, pri, 99) / latp(base, pri, 99)
+			}
+			data.Points = append(data.Points, pt)
+			if m.BrakeEvents == 0 {
+				key := comboKey(c[0], c[1])
+				if a > data.MaxSafeAdded[key] {
+					data.MaxSafeAdded[key] = a
+				}
+			}
+		}
+	}
+	var cells [][]string
+	for _, p := range data.Points {
+		cells = append(cells, []string{
+			comboKey(p.T1, p.T2), pct(p.Added), fmt.Sprintf("%d", p.Brakes),
+			f3(p.NormP50[workload.Low]), f3(p.NormP99[workload.Low]),
+			f3(p.NormP50[workload.High]), f3(p.NormP99[workload.High]),
+		})
+	}
+	text := table([]string{"T1-T2", "Added", "Brakes", "LP p50", "LP p99", "HP p50", "HP p99"}, cells)
+	text += "\nMax added servers without power brakes:\n"
+	for _, c := range combos {
+		key := comboKey(c[0], c[1])
+		text += fmt.Sprintf("  %s: %s\n", key, pct(data.MaxSafeAdded[key]))
+	}
+	return Result{Text: text, Data: data}, nil
+}
+
+// --- Figure 14 ---
+
+// Fig14Point is throughput at one added fraction.
+type Fig14Point struct {
+	Added          float64
+	NormThroughput map[workload.Priority]float64
+}
+
+func runFig14(o Options) (Result, error) {
+	added := []float64{0, 0.10, 0.20, 0.30, 0.40, 0.50}
+	if o.Quick {
+		added = []float64{0, 0.30}
+	}
+	var pts []Fig14Point
+	var basePerServer map[workload.Priority]float64
+	for _, a := range added {
+		m, err := simulateRow(o, rowSpec{policy: "polca", added: a, intensity: 1, days: o.SweepDays})
+		if err != nil {
+			return Result{}, err
+		}
+		perServer := map[workload.Priority]float64{}
+		lp := m.Config.LowPriorityFraction
+		total := m.Config.Servers()
+		poolN := map[workload.Priority]int{
+			workload.Low:  int(float64(total)*lp + 0.5),
+			workload.High: total - int(float64(total)*lp+0.5),
+		}
+		for _, pri := range []workload.Priority{workload.Low, workload.High} {
+			perServer[pri] = m.Throughput(pri, poolN[pri])
+		}
+		if a == 0 {
+			basePerServer = perServer
+		}
+		pt := Fig14Point{Added: a, NormThroughput: map[workload.Priority]float64{}}
+		for pri, v := range perServer {
+			pt.NormThroughput[pri] = v / basePerServer[pri]
+		}
+		pts = append(pts, pt)
+	}
+	var cells [][]string
+	for _, p := range pts {
+		cells = append(cells, []string{pct(p.Added), f3(p.NormThroughput[workload.Low]), f3(p.NormThroughput[workload.High])})
+	}
+	return Result{
+		Text: table([]string{"Added", "LP throughput", "HP throughput"}, cells),
+		Data: pts,
+	}, nil
+}
+
+// --- Figure 15a ---
+
+// Fig15aPoint is the latency impact of one T1 capping frequency.
+type Fig15aPoint struct {
+	LPBaseMHz float64
+	NormP50   map[workload.Priority]float64
+	NormP99   map[workload.Priority]float64
+}
+
+func runFig15a(o Options) (Result, error) {
+	freqs := []float64{1335, 1275, 1215, 1155}
+	if o.Quick {
+		freqs = []float64{1275, 1155}
+	}
+	base, err := simulateRow(o, rowSpec{policy: "nocap", added: 0.30, intensity: 1, days: o.SweepDays})
+	if err != nil {
+		return Result{}, err
+	}
+	var pts []Fig15aPoint
+	for _, f := range freqs {
+		m, err := simulateRow(o, rowSpec{policy: "polca", lpBaseMHz: f, added: 0.30, intensity: 1, days: o.SweepDays})
+		if err != nil {
+			return Result{}, err
+		}
+		pt := Fig15aPoint{LPBaseMHz: f, NormP50: map[workload.Priority]float64{}, NormP99: map[workload.Priority]float64{}}
+		for _, pri := range []workload.Priority{workload.Low, workload.High} {
+			pt.NormP50[pri] = latp(m, pri, 50) / latp(base, pri, 50)
+			pt.NormP99[pri] = latp(m, pri, 99) / latp(base, pri, 99)
+		}
+		pts = append(pts, pt)
+	}
+	var cells [][]string
+	for _, p := range pts {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.0f", p.LPBaseMHz),
+			f3(p.NormP50[workload.Low]), f3(p.NormP99[workload.Low]),
+			f3(p.NormP50[workload.High]), f3(p.NormP99[workload.High]),
+		})
+	}
+	return Result{
+		Text: table([]string{"T1 freq (MHz)", "LP p50", "LP p99", "HP p50", "HP p99"}, cells),
+		Data: pts,
+	}, nil
+}
+
+// --- Figure 15b ---
+
+// Fig15bPoint is the latency impact at one low-priority server share.
+type Fig15bPoint struct {
+	LPFraction float64
+	Brakes     int
+	NormP50    map[workload.Priority]float64
+	NormP99    map[workload.Priority]float64
+}
+
+func runFig15b(o Options) (Result, error) {
+	fracs := []float64{0.25, 0.50, 0.75}
+	if o.Quick {
+		fracs = []float64{0.25, 0.75}
+	}
+	var pts []Fig15bPoint
+	for _, lp := range fracs {
+		base, err := simulateRow(o, rowSpec{policy: "polca", added: 0, intensity: 1, lpFrac: lp, days: o.SweepDays})
+		if err != nil {
+			return Result{}, err
+		}
+		m, err := simulateRow(o, rowSpec{policy: "polca", added: 0.30, intensity: 1, lpFrac: lp, days: o.SweepDays})
+		if err != nil {
+			return Result{}, err
+		}
+		pt := Fig15bPoint{LPFraction: lp, Brakes: m.BrakeEvents, NormP50: map[workload.Priority]float64{}, NormP99: map[workload.Priority]float64{}}
+		for _, pri := range []workload.Priority{workload.Low, workload.High} {
+			pt.NormP50[pri] = latp(m, pri, 50) / latp(base, pri, 50)
+			pt.NormP99[pri] = latp(m, pri, 99) / latp(base, pri, 99)
+		}
+		pts = append(pts, pt)
+	}
+	var cells [][]string
+	for _, p := range pts {
+		cells = append(cells, []string{
+			pct(p.LPFraction), fmt.Sprintf("%d", p.Brakes),
+			f3(p.NormP50[workload.Low]), f3(p.NormP99[workload.Low]),
+			f3(p.NormP50[workload.High]), f3(p.NormP99[workload.High]),
+		})
+	}
+	return Result{
+		Text: table([]string{"LP servers", "Brakes", "LP p50", "LP p99", "HP p50", "HP p99"}, cells),
+		Data: pts,
+	}, nil
+}
+
+// --- Figure 16 ---
+
+// Fig16Data holds both utilization series, downsampled to one minute for
+// storage (the raw 2 s series of a 5-week run is ~1.5M samples), plus the
+// 5-minute views the paper plots and the raw-resolution headline numbers.
+type Fig16Data struct {
+	Default   stats.Series // 1-minute means
+	Oversub   stats.Series
+	Default5m stats.Series
+	Oversub5m stats.Series
+	// Peak2s are the raw 2 s-resolution peaks of each series.
+	DefaultPeak2s float64
+	OversubPeak2s float64
+}
+
+func runFig16(o Options) (Result, error) {
+	base, err := simulateRow(o, rowSpec{policy: "polca", added: 0, intensity: 1, days: o.EvalDays})
+	if err != nil {
+		return Result{}, err
+	}
+	over, err := simulateRow(o, rowSpec{policy: "polca", added: 0.30, intensity: 1, days: o.EvalDays})
+	if err != nil {
+		return Result{}, err
+	}
+	data := Fig16Data{
+		Default:       base.Util.Downsample(time.Minute),
+		Oversub:       over.Util.Downsample(time.Minute),
+		Default5m:     base.Util.Downsample(5 * time.Minute),
+		Oversub5m:     over.Util.Downsample(5 * time.Minute),
+		DefaultPeak2s: base.Util.Peak(),
+		OversubPeak2s: over.Util.Peak(),
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %10s %10s %10s\n", "Series", "mean", "peak(2s)", "peak(5min)")
+	fmt.Fprintf(&b, "%-26s %10s %10s %10s\n", "default servers", pct(data.Default.Mean()), pct(data.DefaultPeak2s), pct(data.Default5m.Peak()))
+	fmt.Fprintf(&b, "%-26s %10s %10s %10s\n", "30% more servers", pct(data.Oversub.Mean()), pct(data.OversubPeak2s), pct(data.Oversub5m.Peak()))
+	fmt.Fprintf(&b, "\n%s\n", render.Lines(map[string]stats.Series{
+		"default":      data.Default5m,
+		"+30% servers": data.Oversub5m,
+	}, render.ChartOptions{
+		Title: "Row power utilization (5-minute averages)",
+		YMin:  0.3, YMax: 1.05, Height: 10, YLabel: "fraction of provisioned power",
+	}))
+	fmt.Fprintf(&b, "Daily peak utilization (5-min averages):\n")
+	days := int(data.Default5m.Duration() / (24 * time.Hour))
+	for d := 0; d < days; d++ {
+		from := time.Duration(d) * 24 * time.Hour
+		to := from + 24*time.Hour
+		fmt.Fprintf(&b, "  day %2d: default %s, +30%% %s\n", d+1,
+			pct(data.Default5m.Slice(from, to).Peak()), pct(data.Oversub5m.Slice(from, to).Peak()))
+	}
+	return Result{Text: b.String(), Data: data}, nil
+}
+
+// --- Figures 17 & 18 ---
+
+// Fig17Row is one policy's normalized latency metrics (POLCA at default
+// intensity = 1.0).
+type Fig17Row struct {
+	Policy    string
+	Intensity float64
+	Brakes    int
+	NormP50   map[workload.Priority]float64
+	NormP99   map[workload.Priority]float64
+	NormMax   map[workload.Priority]float64
+}
+
+// fig17Rows runs the four policies at both intensities (shared by fig17
+// and fig18 through the simulation cache).
+func fig17Rows(o Options) ([]Fig17Row, error) {
+	policies := []string{"polca", "1tl", "1ta", "nocap"}
+	names := map[string]string{"polca": "POLCA", "1tl": "1-Thresh-Low-Pri", "1ta": "1-Thresh-All", "nocap": "No-cap"}
+	intensities := []float64{1.0, 1.05}
+	var ref *cluster.Metrics
+	var rows []Fig17Row
+	for _, in := range intensities {
+		for _, p := range policies {
+			m, err := simulateRow(o, rowSpec{policy: p, added: 0.30, intensity: in, days: o.EvalDays})
+			if err != nil {
+				return nil, err
+			}
+			if p == "polca" && in == 1.0 {
+				ref = m
+			}
+			row := Fig17Row{
+				Policy: names[p], Intensity: in, Brakes: m.BrakeEvents,
+				NormP50: map[workload.Priority]float64{},
+				NormP99: map[workload.Priority]float64{},
+				NormMax: map[workload.Priority]float64{},
+			}
+			for _, pri := range []workload.Priority{workload.Low, workload.High} {
+				row.NormP50[pri] = latp(m, pri, 50) / latp(ref, pri, 50)
+				row.NormP99[pri] = latp(m, pri, 99) / latp(ref, pri, 99)
+				row.NormMax[pri] = latp(m, pri, 100) / latp(ref, pri, 100)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runFig17(o Options) (Result, error) {
+	rows, err := fig17Rows(o)
+	if err != nil {
+		return Result{}, err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		label := r.Policy
+		if r.Intensity > 1 {
+			label += fmt.Sprintf("+%.0f%%", (r.Intensity-1)*100)
+		}
+		cells = append(cells, []string{
+			label,
+			f3(r.NormP50[workload.Low]), f3(r.NormP50[workload.High]),
+			f3(r.NormP99[workload.Low]), f3(r.NormP99[workload.High]),
+			f3(r.NormMax[workload.Low]), f3(r.NormMax[workload.High]),
+		})
+	}
+	text := table([]string{"Policy", "LP p50", "HP p50", "LP p99", "HP p99", "LP max", "HP max"}, cells)
+	var bars []render.Bar
+	for _, r := range rows {
+		label := r.Policy
+		if r.Intensity > 1 {
+			label += "+5%"
+		}
+		bars = append(bars, render.Bar{Label: label, Value: r.NormP99[workload.Low]})
+	}
+	text += "\n" + render.Bars(bars, render.BarOptions{
+		Title: "Low-priority p99 latency (normalized to POLCA; lower is better)", Reference: 1.0,
+	})
+	return Result{Text: text, Data: rows}, nil
+}
+
+func runFig18(o Options) (Result, error) {
+	rows, err := fig17Rows(o)
+	if err != nil {
+		return Result{}, err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		label := r.Policy
+		if r.Intensity > 1 {
+			label += fmt.Sprintf("+%.0f%%", (r.Intensity-1)*100)
+		}
+		cells = append(cells, []string{label, fmt.Sprintf("%d", r.Brakes)})
+	}
+	text := table([]string{"Policy", "Power brake events"}, cells)
+	var bars []render.Bar
+	for _, r := range rows {
+		label := r.Policy
+		if r.Intensity > 1 {
+			label += "+5%"
+		}
+		bars = append(bars, render.Bar{Label: label, Value: float64(r.Brakes)})
+	}
+	text += "\n" + render.Bars(bars, render.BarOptions{
+		Title: "Power brake events (log scale; lower is better)", Log: true, Format: "%.0f",
+	})
+	return Result{Text: text, Data: rows}, nil
+}

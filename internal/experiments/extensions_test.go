@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExtDtype(t *testing.T) {
+	res := quick(t, "ext-dtype")
+	rows := res.Data.([]DtypeRow)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 models x 3 datatypes)", len(rows))
+	}
+	byKey := map[string]DtypeRow{}
+	for _, r := range rows {
+		byKey[r.Model+"/"+r.DType] = r
+	}
+	// §4.2: FP16 is fastest; FP32 and INT8 are slower.
+	for _, m := range []string{"Llama2-13B", "Llama2-70B"} {
+		if byKey[m+"/fp16"].Latency >= byKey[m+"/fp32"].Latency {
+			t.Errorf("%s: FP16 not faster than FP32", m)
+		}
+		if byKey[m+"/fp16"].Latency >= byKey[m+"/int8"].Latency {
+			t.Errorf("%s: FP16 not faster than INT8", m)
+		}
+	}
+	// Quantization frees GPUs for the 70B model (4 -> 2), halving fleet
+	// power (Insight 6).
+	if byKey["Llama2-70B/fp32"].GPUs != 4 || byKey["Llama2-70B/fp16"].GPUs != 2 {
+		t.Error("70B GPU counts wrong")
+	}
+	if byKey["Llama2-70B/fp16"].FleetW >= byKey["Llama2-70B/fp32"].FleetW {
+		t.Error("fewer GPUs should draw less fleet power (Insight 6)")
+	}
+	// 13B fits one GPU at every datatype.
+	for _, dt := range []string{"fp32", "fp16", "int8"} {
+		if byKey["Llama2-13B/"+dt].GPUs != 1 {
+			t.Errorf("13B at %s should fit one GPU", dt)
+		}
+	}
+}
+
+func TestExtPhase(t *testing.T) {
+	res := quick(t, "ext-phase")
+	rows := res.Data.([]PhaseRow)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 models", len(rows))
+	}
+	for _, r := range rows {
+		c := r.Comparison
+		if c.PhaseAwareSavings < 0.05 {
+			t.Errorf("%s: savings %.3f too small", r.Model, c.PhaseAwareSavings)
+		}
+		if c.PhaseAware.Latency > c.UniformLow.Latency {
+			t.Errorf("%s: phase-aware slower than uniform lock", r.Model)
+		}
+	}
+}
+
+func TestExtSplit(t *testing.T) {
+	res := quick(t, "ext-split")
+	rows := res.Data.([]SplitRow)
+	for _, r := range rows {
+		rep := r.Report
+		if rep.PoolRatio <= 1 {
+			t.Errorf("%s: token pool should dominate (ratio %.1f)", r.Model, rep.PoolRatio)
+		}
+		if rep.LatencyOverhead > 0.10 {
+			t.Errorf("%s: latency overhead %.3f too large", r.Model, rep.LatencyOverhead)
+		}
+		if rep.PowerSavings <= 0 {
+			t.Errorf("%s: no fleet power savings", r.Model)
+		}
+	}
+}
+
+func TestExtAware(t *testing.T) {
+	res := quick(t, "ext-aware")
+	data := res.Data.(AwareData)
+	// The planned LP deep cap must be at least as deep as the static one.
+	if data.PlannedFreqs[1] > data.StaticFreqs[1] {
+		t.Errorf("planned LP deep %v shallower than static %v", data.PlannedFreqs[1], data.StaticFreqs[1])
+	}
+	if data.Static.PeakUtil <= 0 || data.Aware.PeakUtil <= 0 {
+		t.Fatal("missing metrics")
+	}
+}
+
+func TestExtSwing(t *testing.T) {
+	res := quick(t, "ext-swing")
+	rows := res.Data.([]SwingRow)
+	byName := map[string]SwingRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	base := byName["baseline (synchronous)"].Summary
+	over := byName["overlapped comm + lazy updates"].Summary
+	lock := byName["row frequency lock 1.1GHz"].Summary
+	capd := byName["row power cap 325W"].Summary
+	// §5.1: overlapping computation and communication smooths the swings.
+	if over.MaxSpike2s > 0.5*base.MaxSpike2s {
+		t.Errorf("overlap barely helped: %.3f vs %.3f", over.MaxSpike2s, base.MaxSpike2s)
+	}
+	// Frequency locking reduces both peak and swing, at a throughput cost
+	// not visible here.
+	if lock.PeakUtilization >= base.PeakUtilization || lock.MaxSpike2s >= base.MaxSpike2s {
+		t.Error("frequency lock did not reduce peak/swing")
+	}
+	// Capping clips peaks.
+	if capd.PeakUtilization >= base.PeakUtilization {
+		t.Error("capping did not clip the training peak")
+	}
+}
+
+func TestExtHysteresis(t *testing.T) {
+	res := quick(t, "ext-hysteresis")
+	rows := res.Data.([]HysteresisRow)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Thinner margins flap more: strictly more OOB commands than the
+	// widest margin.
+	if rows[0].LockCommands <= rows[len(rows)-1].LockCommands {
+		t.Errorf("thin margin (%d cmds) should out-traffic wide margin (%d cmds)",
+			rows[0].LockCommands, rows[len(rows)-1].LockCommands)
+	}
+}
+
+func TestExtOOB(t *testing.T) {
+	res := quick(t, "ext-oob")
+	rows := res.Data.([]OOBRow)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Faster actuation permits a higher trained T2 and fewer brakes.
+	if !(rows[0].SafeT2 > rows[1].SafeT2 && rows[1].SafeT2 > rows[2].SafeT2) {
+		t.Errorf("trainable T2 not monotone in OOB latency: %+v", rows)
+	}
+	if rows[0].Latency != 5*time.Second {
+		t.Error("latency order wrong")
+	}
+	if rows[0].Brakes > rows[2].Brakes {
+		t.Errorf("faster OOB should not brake more: %d vs %d", rows[0].Brakes, rows[2].Brakes)
+	}
+}
+
+func TestExtBatch(t *testing.T) {
+	res := quick(t, "ext-batch")
+	data := res.Data.(BatchData)
+	if len(data.Rows) < 3 {
+		t.Fatalf("rows = %d", len(data.Rows))
+	}
+	// Throughput and efficiency grow with batch; peak power grows too.
+	first, last := data.Rows[0], data.Rows[len(data.Rows)-1]
+	if last.TokensSec <= first.TokensSec || last.TokensPerKJ <= first.TokensPerKJ {
+		t.Error("batching should raise throughput and efficiency")
+	}
+	if last.PeakTDP <= first.PeakTDP {
+		t.Error("batching should raise peak power (the knob's cost)")
+	}
+	if data.BestUnbounded < data.BestUnderBudget {
+		t.Error("unconstrained best cannot be smaller than budgeted best")
+	}
+}
+
+func TestExtSeeds(t *testing.T) {
+	res := quick(t, "ext-seeds")
+	rows := res.Data.([]SeedRow)
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PeakUtil <= 0 || r.LPp99 <= 0 {
+			t.Errorf("seed %d: implausible metrics %+v", r.Seed, r)
+		}
+	}
+}
+
+func TestExtH100(t *testing.T) {
+	res := quick(t, "ext-h100")
+	rows := res.Data.([]H100Row)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	a100, h100fp16, h100fp8 := rows[0], rows[1], rows[2]
+	if h100fp16.TokensSec <= a100.TokensSec {
+		t.Error("H100 should outpace A100 (3.3 TB/s HBM3)")
+	}
+	if h100fp8.GPUs != 4 {
+		t.Errorf("FP8 should halve the GPU count: %d", h100fp8.GPUs)
+	}
+	if h100fp8.TokensPerKJ <= h100fp16.TokensPerKJ {
+		t.Error("FP8 on half the GPUs should be more energy efficient")
+	}
+	if h100fp8.FleetPeakW >= h100fp16.FleetPeakW {
+		t.Error("FP8 fleet peak should be lower (fewer GPUs)")
+	}
+}
+
+func TestExtTrainOversub(t *testing.T) {
+	res := quick(t, "ext-train-oversub")
+	rows := res.Data.([]TrainOversubRow)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At +0% the row fits its budget without meaningful capping.
+	if rows[0].OverBudget > 0.01 {
+		t.Errorf("baseline training row over budget %.3f of the time", rows[0].OverBudget)
+	}
+	// Oversubscription monotonically worsens the overload and the
+	// required capping gets deeper (the §5.1 argument).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].OverBudget < rows[i-1].OverBudget {
+			t.Errorf("over-budget fraction not monotone: %+v", rows)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.OverBudget < 0.3 {
+		t.Errorf("+30%% training row should be over budget much of the time: %.3f", last.OverBudget)
+	}
+	if last.CapWatts > 0 && last.Slowdown < 0.08 {
+		t.Errorf("+30%% training slowdown %.3f implausibly small", last.Slowdown)
+	}
+}
+
+func TestExtLadder(t *testing.T) {
+	res := quick(t, "ext-ladder")
+	rows := res.Data.([]LadderRow)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PeakUtil <= 0 || r.LPp99 <= 0 {
+			t.Errorf("%s: implausible metrics %+v", r.Policy, r)
+		}
+	}
+}

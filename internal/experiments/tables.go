@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/llm"
+	"polca/internal/polca"
+	"polca/internal/telemetry"
+	"polca/internal/workload"
+)
+
+func init() {
+	register("tab1", "Table 1: Power monitoring interfaces in an LLM cluster", runTable1)
+	register("tab2", "Table 2: Row-level parameters", runTable2)
+	register("tab3", "Table 3: Characterized LLM workloads", runTable3)
+	register("tab5", "Table 5: Power modes for low/high priority workloads", runTable5)
+	register("tab6", "Table 6: Workload distribution and SLOs", runTable6)
+}
+
+func runTable1(o Options) (Result, error) {
+	rows := telemetry.Table1()
+	var cells [][]string
+	for _, r := range rows {
+		rel := "yes"
+		if !r.Reliable {
+			rel = "no (silent failures)"
+		}
+		cells = append(cells, []string{r.Name, r.Granularity, r.Path.String(), r.Interval.String(), rel})
+	}
+	return Result{
+		Text: table([]string{"Mechanism", "Granularity", "Path", "Interval", "Reliable"}, cells),
+		Data: rows,
+	}, nil
+}
+
+func runTable2(o Options) (Result, error) {
+	cfg := cluster.Production()
+	cells := [][]string{
+		{"Number of servers", fmt.Sprintf("%d", cfg.BaseServers)},
+		{"Server type", "DGX-A100"},
+		{"Power telemetry delay", cfg.TelemetryInterval.String()},
+		{"Power brake latency", cfg.BrakeLatency.String()},
+		{"OOB control latency", cfg.OOBLatency.String()},
+	}
+	return Result{
+		Text: table([]string{"Parameter", "Value"}, cells),
+		Data: cfg,
+	}, nil
+}
+
+func runTable3(o Options) (Result, error) {
+	var cells [][]string
+	for _, m := range llm.Catalog() {
+		params := fmt.Sprintf("%.0fM", float64(m.Params)/1e6)
+		if m.Params >= 1e9 {
+			params = fmt.Sprintf("%.0fB", float64(m.Params)/1e9)
+		}
+		cells = append(cells, []string{m.Arch.String(), m.Name, params, fmt.Sprintf("%d", m.InferenceGPUs)})
+	}
+	return Result{
+		Text: table([]string{"Category", "Model", "#Params", "#Inference GPUs"}, cells),
+		Data: llm.Catalog(),
+	}, nil
+}
+
+func runTable5(o Options) (Result, error) {
+	cfg := polca.DefaultConfig()
+	cells := [][]string{
+		{"Uncapped", "Uncapped", "Uncapped"},
+		{fmt.Sprintf("Threshold T1 (%.0f%%)", cfg.T1*100), fmt.Sprintf("Frequency capped (%.0f MHz)", cfg.LPBaseMHz), "Uncapped"},
+		{fmt.Sprintf("Threshold T2 (%.0f%%)", cfg.T2*100), fmt.Sprintf("Frequency capped (%.0f MHz)", cfg.LPDeepMHz), fmt.Sprintf("Frequency capped (%.0f MHz)", cfg.HPCapMHz)},
+		{"Power brake", "Frequency capped (288 MHz)", "Frequency capped (288 MHz)"},
+	}
+	return Result{
+		Text: table([]string{"Mode", "Low Priority", "High Priority"}, cells),
+		Data: cfg,
+	}, nil
+}
+
+func runTable6(o Options) (Result, error) {
+	classes := workload.Table6()
+	var cells [][]string
+	for _, c := range classes {
+		pri := "50:50"
+		switch c.LowShare {
+		case 1:
+			pri = "Low"
+		case 0:
+			pri = "High"
+		}
+		cells = append(cells, []string{
+			c.Name,
+			fmt.Sprintf("%d-%d", c.PromptMin, c.PromptMax),
+			fmt.Sprintf("%d-%d", c.OutputMin, c.OutputMax),
+			pct(c.Share),
+			pri,
+		})
+	}
+	text := table([]string{"Workload", "Prompt size", "Output size", "Ratio", "Priority"}, cells)
+	slos := workload.SLOs()
+	text += "\nSLOs (latency impact bounds):\n" + table(
+		[]string{"Metric", "High priority", "Low priority"},
+		[][]string{
+			{"P50 latency impact", "< " + pct(slos[workload.High].P50Impact), "< " + pct(slos[workload.Low].P50Impact)},
+			{"P99 latency impact", "< " + pct(slos[workload.High].P99Impact), "< " + pct(slos[workload.Low].P99Impact)},
+			{"Number of power brakes", "0", "0"},
+		})
+	return Result{Text: text, Data: classes}, nil
+}
+
+// horizonFromDays converts a day count to a duration.
+func horizonFromDays(days int) time.Duration {
+	return time.Duration(days) * 24 * time.Hour
+}

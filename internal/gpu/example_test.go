@@ -1,0 +1,45 @@
+package gpu_test
+
+import (
+	"fmt"
+
+	"polca/internal/gpu"
+	"polca/internal/llm"
+)
+
+// ExampleDevice_Run demonstrates the two-phase power signature at the heart
+// of the paper: a compute-dense prompt phase at/above TDP followed by a
+// memory-bound token phase at much lower power.
+func ExampleDevice_Run() {
+	dev := gpu.NewDevice(gpu.A100SXM80GB())
+	prompt := gpu.Phase{Name: "prompt", DType: llm.FP16, FLOPs: 3e14, MemBytes: 5e10, TensorFrac: 1}
+	token := gpu.Phase{Name: "token", DType: llm.FP16, FLOPs: 5e12, MemBytes: 2e12, TensorFrac: 1, OverheadSeconds: 0.15}
+
+	pe := dev.Run(prompt)
+	te := dev.Run(token)
+	fmt.Printf("prompt at/above TDP: %v\n", pe.PeakPower() >= dev.Spec().TDPWatts)
+	fmt.Printf("token well below TDP: %v\n", te.MeanPower() < 0.8*dev.Spec().TDPWatts)
+	fmt.Printf("token phase longer: %v\n", te.Duration > pe.Duration)
+	// Output:
+	// prompt at/above TDP: true
+	// token well below TDP: true
+	// token phase longer: true
+}
+
+// ExampleDevice_LockClock shows the superlinear frequency-locking trade-off
+// (Insight 7): a ~21% clock reduction reclaims far more power than it costs
+// in time on a compute-bound phase.
+func ExampleDevice_LockClock() {
+	work := gpu.Phase{Name: "gemm", DType: llm.FP16, FLOPs: 3e14, TensorFrac: 1}
+	base := gpu.NewDevice(gpu.A100SXM80GB()).Run(work)
+
+	locked := gpu.NewDevice(gpu.A100SXM80GB())
+	locked.LockClock(1110)
+	le := locked.Run(work)
+
+	powerSaved := 1 - le.PeakPower()/base.PeakPower()
+	perfLost := 1 - base.Duration.Seconds()/le.Duration.Seconds()
+	fmt.Printf("superlinear: %v\n", powerSaved > perfLost)
+	// Output:
+	// superlinear: true
+}

@@ -1,0 +1,540 @@
+// Package gpu models an NVIDIA A100-class datacenter GPU at the level of
+// detail the paper's characterization needs: a roofline performance model
+// (tensor-core math throughput vs. HBM bandwidth), a DVFS power model
+// (dynamic power scales superlinearly with SM clock), and the three power
+// management knobs the paper studies — in-band frequency locking, reactive
+// power capping, and the out-of-band power brake.
+//
+// The model is analytical, not cycle-accurate. What must be faithful, and
+// is validated by this package's tests, is the *shape* of power over time:
+// compute-dense phases draw power at or transiently above TDP, memory-bound
+// phases draw a stable ~60-75% of TDP, power capping clips peaks reactively
+// (spikes shorter than the limiter's reaction window still overshoot,
+// Figure 9), and frequency locking trades a superlinear amount of power for
+// a sublinear amount of performance (Figure 10).
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"polca/internal/llm"
+)
+
+// Spec describes a GPU SKU. All power figures are per GPU.
+type Spec struct {
+	Name string
+
+	TDPWatts  float64 // board power limit the default cap sits at
+	IdleWatts float64 // power drawn with clocks idling
+
+	MaxSMClockMHz   float64 // boost clock (100% performance reference)
+	BaseSMClockMHz  float64 // base clock (paper: 1275 MHz on A100)
+	MinSMClockMHz   float64 // lowest lockable clock
+	BrakeSMClockMHz float64 // clock forced by the OOB power brake (Table 5: 288 MHz)
+
+	MemoryGB            float64
+	MemBandwidthGBps    float64       // HBM bandwidth; independent of SM clock domain
+	NVLinkGBps          float64       // per-GPU interconnect bandwidth
+	TensorFP16TFLOPS    float64       // peak dense FP16 tensor-core throughput
+	TensorFP8TFLOPS     float64       // peak dense FP8 throughput (0 = unsupported)
+	FP32TFLOPS          float64       // peak non-tensor FP32 throughput
+	TensorINT8TOPS      float64       // peak INT8 tensor throughput
+	DVFSAlpha           float64       // dynamic power ∝ (f/fmax)^alpha (V tracks f)
+	TensorWatts         float64       // dynamic power of fully-busy tensor pipes at fmax
+	SMWatts             float64       // dynamic power of non-tensor SM activity at fmax
+	ClockWatts          float64       // clock-tree/uncore dynamic power while any engine is busy
+	MemWatts            float64       // dynamic power of fully-busy HBM interface
+	CapReactionInterval time.Duration // reactive power-limiter response time
+}
+
+// A100SXM80GB returns the spec of the NVIDIA A100-SXM4-80GB used for the
+// paper's inference characterization.
+func A100SXM80GB() Spec {
+	return Spec{
+		Name:                "A100-SXM4-80GB",
+		TDPWatts:            400,
+		IdleWatts:           82,
+		MaxSMClockMHz:       1410,
+		BaseSMClockMHz:      1275,
+		MinSMClockMHz:       210,
+		BrakeSMClockMHz:     288,
+		MemoryGB:            80,
+		MemBandwidthGBps:    2039,
+		NVLinkGBps:          600,
+		TensorFP16TFLOPS:    312,
+		FP32TFLOPS:          19.5,
+		TensorINT8TOPS:      624,
+		DVFSAlpha:           2.2,
+		TensorWatts:         320,
+		SMWatts:             120,
+		ClockWatts:          60,
+		MemWatts:            140,
+		CapReactionInterval: 100 * time.Millisecond,
+	}
+}
+
+// H100SXM80GB returns the spec of an NVIDIA H100-SXM5-80GB, the next
+// generation the paper's discussion anticipates (DGX-H100: 8U, 10.2 kW,
+// §6.7; FP8 transformer engine, §4.2). Numbers follow the public SXM5
+// datasheet; power-split coefficients are scaled from the A100 model.
+func H100SXM80GB() Spec {
+	return Spec{
+		Name:                "H100-SXM5-80GB",
+		TDPWatts:            700,
+		IdleWatts:           105,
+		MaxSMClockMHz:       1980,
+		BaseSMClockMHz:      1590,
+		MinSMClockMHz:       210,
+		BrakeSMClockMHz:     396,
+		MemoryGB:            80,
+		MemBandwidthGBps:    3350,
+		NVLinkGBps:          900,
+		TensorFP16TFLOPS:    989,
+		TensorFP8TFLOPS:     1979,
+		FP32TFLOPS:          67,
+		TensorINT8TOPS:      1979,
+		DVFSAlpha:           2.2,
+		TensorWatts:         560,
+		SMWatts:             190,
+		ClockWatts:          100,
+		MemWatts:            240,
+		CapReactionInterval: 100 * time.Millisecond,
+	}
+}
+
+// A100SXM40GB returns the spec of the NVIDIA A100-SXM4-40GB used for the
+// paper's training characterization.
+func A100SXM40GB() Spec {
+	s := A100SXM80GB()
+	s.Name = "A100-SXM4-40GB"
+	s.MemoryGB = 40
+	s.MemBandwidthGBps = 1555
+	return s
+}
+
+// PeakFLOPS returns the peak math throughput (FLOP/s) for a datatype,
+// before kernel efficiency.
+func (s Spec) PeakFLOPS(dt llm.DType) float64 {
+	switch dt {
+	case llm.FP16:
+		return s.TensorFP16TFLOPS * 1e12
+	case llm.INT8:
+		return s.TensorINT8TOPS * 1e12
+	case llm.FP8:
+		if s.TensorFP8TFLOPS > 0 {
+			return s.TensorFP8TFLOPS * 1e12
+		}
+		// Pre-Hopper GPUs run FP8 weights through FP16 pipes.
+		return s.TensorFP16TFLOPS * 1e12
+	case llm.FP32:
+		return s.FP32TFLOPS * 1e12
+	}
+	return s.FP32TFLOPS * 1e12
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.TDPWatts <= 0 || s.IdleWatts <= 0 || s.IdleWatts >= s.TDPWatts:
+		return fmt.Errorf("gpu: %s: bad power envelope", s.Name)
+	case s.MaxSMClockMHz <= 0 || s.MinSMClockMHz <= 0 || s.MinSMClockMHz > s.MaxSMClockMHz:
+		return fmt.Errorf("gpu: %s: bad clock range", s.Name)
+	case s.BaseSMClockMHz < s.MinSMClockMHz || s.BaseSMClockMHz > s.MaxSMClockMHz:
+		return fmt.Errorf("gpu: %s: base clock outside range", s.Name)
+	case s.MemBandwidthGBps <= 0 || s.TensorFP16TFLOPS <= 0:
+		return fmt.Errorf("gpu: %s: bad throughput", s.Name)
+	case s.DVFSAlpha < 1:
+		return fmt.Errorf("gpu: %s: DVFS alpha < 1", s.Name)
+	}
+	return nil
+}
+
+// Phase is a unit of GPU work with homogeneous behaviour: a prompt pass, a
+// single token-sampling step (or a run of identical steps), a training
+// forward/backward pass, or a synchronization interval. Costs are per GPU
+// (the caller divides model-level costs by the parallel degree).
+type Phase struct {
+	Name  string
+	DType llm.DType
+
+	FLOPs    float64 // math work on this GPU
+	MemBytes float64 // HBM traffic on this GPU
+	// TensorFrac is the fraction of math work that runs on tensor cores
+	// (the rest is scalar/vector SM work). It shapes the power split, not
+	// the timing. Prompt/GEMM phases ≈ 1.
+	TensorFrac float64
+	// Efficiency derates the achieved math throughput below the datatype's
+	// kernel efficiency (small kernels, low occupancy). Zero means 1.0.
+	// Lower efficiency lengthens the phase and proportionally idles the
+	// tensor pipes, lowering instantaneous power — this is why RoBERTa's
+	// training iterations stay below TDP in Figure 4 while GPT-NeoX's
+	// exceed it.
+	Efficiency float64
+
+	// CommSeconds is interconnect time that neither SM nor HBM can hide
+	// (all-reduce latency, pipeline bubbles). It does not scale with clock.
+	CommSeconds float64
+	// OverheadSeconds is kernel-launch and small-op time measured at max
+	// clock; it scales inversely with the SM clock ratio.
+	OverheadSeconds float64
+}
+
+// Counters is the set of DCGM-style performance counters the paper profiles
+// (Figure 7). Each is a 0..1 activity fraction except PowerWatts.
+type Counters struct {
+	PowerWatts     float64
+	GPUUtil        float64 // any engine busy
+	MemUtil        float64 // memory *capacity* in use fraction
+	SMActivity     float64
+	TensorActivity float64
+	MemActivity    float64 // memory *bandwidth* activity
+	PCIeTXMBps     float64
+	PCIeRXMBps     float64
+}
+
+// Segment is a stretch of simulated execution with constant behaviour.
+type Segment struct {
+	Duration time.Duration
+	Counters Counters
+}
+
+// Exec is the result of running a phase: a piecewise-constant power/counter
+// timeline plus the total elapsed time.
+type Exec struct {
+	Segments []Segment
+	Duration time.Duration
+}
+
+// Device is a stateful GPU with its management knobs. Device is not
+// safe for concurrent use; in the simulator each device is owned by its
+// server's event handlers.
+type Device struct {
+	spec Spec
+
+	lockedClockMHz float64 // 0 = unlocked (boost to max)
+	powerCapWatts  float64
+	brake          bool
+
+	memUsedGB float64 // resident model weights+KV, for the MemUtil counter
+
+	// Manufacturing variation (silicon lottery): multipliers on dynamic
+	// power and achieved throughput, 1.0 by default. Large fleets show a
+	// few percent of both (the paper cites characterizations of A100
+	// variability).
+	powerVar float64
+	perfVar  float64
+}
+
+// NewDevice returns a Device with default settings: unlocked clocks and the
+// power cap at TDP.
+func NewDevice(spec Spec) *Device {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{spec: spec, powerCapWatts: spec.TDPWatts, powerVar: 1, perfVar: 1}
+}
+
+// SetVariation sets the device's silicon-lottery multipliers: power scales
+// dynamic power draw, perf scales achieved math throughput. Both are
+// clamped to ±10% around nominal. Fleet models draw these per device to
+// reproduce the per-server scatter of Figure 11.
+func (d *Device) SetVariation(power, perf float64) {
+	clamp := func(x float64) float64 {
+		return math.Min(math.Max(x, 0.9), 1.1)
+	}
+	d.powerVar = clamp(power)
+	d.perfVar = clamp(perf)
+}
+
+// Variation returns the device's power and performance multipliers.
+func (d *Device) Variation() (power, perf float64) { return d.powerVar, d.perfVar }
+
+// Spec returns the device's SKU description.
+func (d *Device) Spec() Spec { return d.spec }
+
+// LockClock locks the SM clock to mhz (clamped to the spec's range),
+// emulating `nvidia-smi -lgc`. Passing 0 unlocks.
+func (d *Device) LockClock(mhz float64) {
+	if mhz == 0 {
+		d.lockedClockMHz = 0
+		return
+	}
+	d.lockedClockMHz = math.Min(math.Max(mhz, d.spec.MinSMClockMHz), d.spec.MaxSMClockMHz)
+}
+
+// LockedClock returns the locked SM clock in MHz, or 0 if unlocked.
+func (d *Device) LockedClock() float64 { return d.lockedClockMHz }
+
+// SetPowerCap sets the reactive power limit in watts, emulating
+// `nvidia-smi -pl`. Values are clamped to [idle+10%, TDP].
+func (d *Device) SetPowerCap(watts float64) {
+	lo := d.spec.IdleWatts * 1.1
+	d.powerCapWatts = math.Min(math.Max(watts, lo), d.spec.TDPWatts)
+}
+
+// PowerCap returns the current power cap in watts.
+func (d *Device) PowerCap() float64 { return d.powerCapWatts }
+
+// SetBrake engages or releases the OOB power brake, which forces the SM
+// clock to the spec's brake clock regardless of other settings.
+func (d *Device) SetBrake(on bool) { d.brake = on }
+
+// Brake reports whether the power brake is engaged.
+func (d *Device) Brake() bool { return d.brake }
+
+// SetMemUsedGB records resident memory for the MemUtil counter.
+func (d *Device) SetMemUsedGB(gb float64) {
+	d.memUsedGB = math.Min(math.Max(gb, 0), d.spec.MemoryGB)
+}
+
+// clockCeilingMHz returns the highest SM clock currently allowed by the
+// lock and brake settings (the power cap throttles reactively, below).
+func (d *Device) clockCeilingMHz() float64 {
+	c := d.spec.MaxSMClockMHz
+	if d.lockedClockMHz > 0 {
+		c = d.lockedClockMHz
+	}
+	if d.brake {
+		c = math.Min(c, d.spec.BrakeSMClockMHz)
+	}
+	return c
+}
+
+// effFactor returns the phase's occupancy derate (1.0 when unset).
+func (p Phase) effFactor() float64 {
+	if p.Efficiency <= 0 || p.Efficiency > 1 {
+		return 1
+	}
+	return p.Efficiency
+}
+
+// phaseTiming computes the roofline timing of a phase at a clock ratio.
+func (d *Device) phaseTiming(p Phase, ratio float64) (total, tc, tm float64) {
+	eff := p.DType.KernelEfficiency() * p.effFactor()
+	flops := d.spec.PeakFLOPS(p.DType) * eff * ratio * d.perfVar
+	tc = 0.0
+	if flops > 0 {
+		tc = p.FLOPs / flops
+	}
+	tm = p.MemBytes / (d.spec.MemBandwidthGBps * 1e9)
+	busy := math.Max(tc, tm)
+	total = busy + p.CommSeconds + p.OverheadSeconds/ratio
+	return total, tc, tm
+}
+
+// countersAt derives the counter values for a phase executing at a clock
+// ratio, given its timing decomposition.
+func (d *Device) countersAt(p Phase, ratio, total, tc, tm float64) Counters {
+	if total <= 0 {
+		return d.idleCounters()
+	}
+	overhead := p.OverheadSeconds / ratio
+	// tc is already inflated by low occupancy; the tensor pipes are only
+	// effFactor-busy during it, so instantaneous power scales back down.
+	tensorAct := tc * p.TensorFrac * p.effFactor() / total
+	smAct := (tc + overhead) / total
+	memAct := tm / total
+	clamp01 := func(x float64) float64 { return math.Min(math.Max(x, 0), 1) }
+	tensorAct, smAct, memAct = clamp01(tensorAct), clamp01(smAct), clamp01(memAct)
+	util := clamp01((math.Max(tc, tm) + overhead) / total)
+
+	dyn := math.Pow(ratio, d.spec.DVFSAlpha) * d.powerVar
+	power := d.spec.IdleWatts +
+		dyn*(d.spec.TensorWatts*tensorAct+d.spec.SMWatts*math.Max(smAct-tensorAct, 0)+d.spec.ClockWatts*util) +
+		d.spec.MemWatts*memAct*d.powerVar
+	return Counters{
+		PowerWatts:     power,
+		GPUUtil:        util,
+		MemUtil:        d.memUsedGB / d.spec.MemoryGB,
+		SMActivity:     smAct,
+		TensorActivity: tensorAct,
+		MemActivity:    memAct,
+		PCIeTXMBps:     150 * util,
+		PCIeRXMBps:     180 * util,
+	}
+}
+
+// idleCounters returns the counter set for an idle device.
+func (d *Device) idleCounters() Counters {
+	return Counters{PowerWatts: d.spec.IdleWatts, MemUtil: d.memUsedGB / d.spec.MemoryGB}
+}
+
+// Idle returns an Exec representing d idling for the given duration.
+func (d *Device) Idle(dur time.Duration) Exec {
+	return Exec{
+		Segments: []Segment{{Duration: dur, Counters: d.idleCounters()}},
+		Duration: dur,
+	}
+}
+
+// throttleRatioFor returns the largest clock ratio <= maxRatio at which the
+// phase's steady-state power respects the cap. The solution accounts for
+// activity fractions changing as the clock drops (a memory-bound phase
+// becomes no less memory-bound at lower clocks), solved by bisection.
+func (d *Device) throttleRatioFor(p Phase, maxRatio float64) float64 {
+	lo := d.spec.MinSMClockMHz / d.spec.MaxSMClockMHz
+	hi := maxRatio
+	powerAt := func(r float64) float64 {
+		total, tc, tm := d.phaseTiming(p, r)
+		return d.countersAt(p, r, total, tc, tm).PowerWatts
+	}
+	if powerAt(hi) <= d.powerCapWatts {
+		return hi
+	}
+	if powerAt(lo) > d.powerCapWatts {
+		return lo
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if powerAt(mid) > d.powerCapWatts {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// Run executes a phase under the device's current knob settings and returns
+// its piecewise-constant power timeline.
+//
+// The reactive power limiter is modelled as in Figure 9: for the first
+// CapReactionInterval of a phase the device runs at the clock ceiling, so
+// instantaneous power may overshoot the cap; after the reaction interval
+// the limiter settles the clock at the highest value that respects the cap
+// (extending the phase's duration accordingly). Frequency locks and the
+// power brake bound the clock from the start and never overshoot.
+func (d *Device) Run(p Phase) Exec {
+	if p.FLOPs < 0 || p.MemBytes < 0 || p.CommSeconds < 0 || p.OverheadSeconds < 0 {
+		panic(fmt.Sprintf("gpu: negative work in phase %q", p.Name))
+	}
+	maxRatio := d.clockCeilingMHz() / d.spec.MaxSMClockMHz
+
+	fullTotal, tc, tm := d.phaseTiming(p, maxRatio)
+	if fullTotal <= 0 {
+		return Exec{}
+	}
+	full := d.countersAt(p, maxRatio, fullTotal, tc, tm)
+
+	if full.PowerWatts <= d.powerCapWatts+1e-9 {
+		dur := secToDur(fullTotal)
+		return Exec{
+			Segments: []Segment{{Duration: dur, Counters: full}},
+			Duration: dur,
+		}
+	}
+
+	// Cap violated: overshoot segment, then throttled remainder.
+	throttled := d.throttleRatioFor(p, maxRatio)
+	react := d.spec.CapReactionInterval.Seconds()
+	if fullTotal <= react {
+		// Spike shorter than the limiter's reaction: full overshoot.
+		dur := secToDur(fullTotal)
+		return Exec{
+			Segments: []Segment{{Duration: dur, Counters: full}},
+			Duration: dur,
+		}
+	}
+	doneFrac := react / fullTotal // fraction of work done before throttling
+	rest := p.Scale(1 - doneFrac)
+	restTotal, rtc, rtm := d.phaseTiming(rest, throttled)
+	restCtr := d.countersAt(rest, throttled, restTotal, rtc, rtm)
+	segs := []Segment{
+		{Duration: secToDur(react), Counters: full},
+		{Duration: secToDur(restTotal), Counters: restCtr},
+	}
+	return Exec{Segments: segs, Duration: segs[0].Duration + segs[1].Duration}
+}
+
+// Scale returns a copy of the phase with all work multiplied by frac. The
+// cluster simulator uses it to re-plan the remainder of an in-flight phase
+// when a management action changes the device's clocks mid-execution.
+func (p Phase) Scale(frac float64) Phase {
+	q := p
+	q.FLOPs *= frac
+	q.MemBytes *= frac
+	q.CommSeconds *= frac
+	q.OverheadSeconds *= frac
+	return q
+}
+
+// secToDur converts seconds to a time.Duration, saturating at MaxInt64.
+func secToDur(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	ns := s * 1e9
+	if ns > math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ns)
+}
+
+// PeakPower returns the instantaneous power the device would draw running
+// the phase at its current clock ceiling, ignoring the power cap (i.e. the
+// height of the initial spike).
+func (d *Device) PeakPower(p Phase) float64 {
+	maxRatio := d.clockCeilingMHz() / d.spec.MaxSMClockMHz
+	total, tc, tm := d.phaseTiming(p, maxRatio)
+	if total <= 0 {
+		return d.spec.IdleWatts
+	}
+	return d.countersAt(p, maxRatio, total, tc, tm).PowerWatts
+}
+
+// MeanPower returns the time-weighted mean power of an Exec.
+func (e Exec) MeanPower() float64 {
+	if e.Duration <= 0 {
+		return 0
+	}
+	var wsum float64
+	for _, s := range e.Segments {
+		wsum += s.Counters.PowerWatts * s.Duration.Seconds()
+	}
+	return wsum / e.Duration.Seconds()
+}
+
+// PeakPower returns the maximum segment power of an Exec.
+func (e Exec) PeakPower() float64 {
+	peak := 0.0
+	for _, s := range e.Segments {
+		if s.Counters.PowerWatts > peak {
+			peak = s.Counters.PowerWatts
+		}
+	}
+	return peak
+}
+
+// CountersAt returns the counters in effect at the given offset into the
+// execution (the last segment's counters at or past the end; zero Counters
+// for an empty exec).
+func (e Exec) CountersAt(offset time.Duration) Counters {
+	if len(e.Segments) == 0 {
+		return Counters{}
+	}
+	var at time.Duration
+	for _, s := range e.Segments {
+		at += s.Duration
+		if offset < at {
+			return s.Counters
+		}
+	}
+	return e.Segments[len(e.Segments)-1].Counters
+}
+
+// PowerAt returns the instantaneous power at the given offset into the
+// execution.
+func (e Exec) PowerAt(offset time.Duration) float64 {
+	return e.CountersAt(offset).PowerWatts
+}
+
+// Energy returns the energy of an Exec in joules.
+func (e Exec) Energy() float64 {
+	var j float64
+	for _, s := range e.Segments {
+		j += s.Counters.PowerWatts * s.Duration.Seconds()
+	}
+	return j
+}

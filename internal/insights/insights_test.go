@@ -1,0 +1,53 @@
+package insights
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyAllInsightsHold(t *testing.T) {
+	checks, err := VerifyAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != Count {
+		t.Fatalf("checks = %d, want %d", len(checks), Count)
+	}
+	for _, c := range checks {
+		if !c.Holds {
+			t.Errorf("insight %d does not hold: %s\n  evidence: %s", c.ID, c.Statement, c.Evidence)
+		}
+		if c.Evidence == "" || c.Statement == "" {
+			t.Errorf("insight %d missing statement/evidence", c.ID)
+		}
+	}
+	if !AllHold(checks) {
+		t.Error("AllHold disagrees with individual checks")
+	}
+}
+
+func TestVerifyBounds(t *testing.T) {
+	if _, err := Verify(0, 1); err == nil {
+		t.Error("insight 0 should error")
+	}
+	if _, err := Verify(10, 1); err == nil {
+		t.Error("insight 10 should error")
+	}
+}
+
+func TestRender(t *testing.T) {
+	checks := []Check{
+		{ID: 1, Statement: "s", Holds: true, Evidence: "e"},
+		{ID: 2, Statement: "t", Holds: false, Evidence: "f"},
+	}
+	out := Render(checks)
+	if !strings.Contains(out, "✅ Insight 1") || !strings.Contains(out, "❌ Insight 2") {
+		t.Errorf("render wrong:\n%s", out)
+	}
+	if AllHold(checks) {
+		t.Error("AllHold should be false with a failing check")
+	}
+	if AllHold(checks[:1]) {
+		t.Error("AllHold should require the full count")
+	}
+}

@@ -1,0 +1,329 @@
+// Package llm models the large language models characterized in the paper
+// (Table 3) from first principles: parameter counts, architecture shapes,
+// and the floating-point and memory-traffic cost of the prompt-processing
+// and token-sampling phases of inference, as well as training iterations.
+//
+// The paper's central characterization facts fall out of this arithmetic:
+//
+//   - Prompt processing runs over the whole input in parallel, so its cost
+//     is dominated by FLOPs (≈ 2·params per input token) — compute bound.
+//   - Token sampling generates one token at a time and must stream the full
+//     model weights (plus KV cache) from HBM for every step — memory bound,
+//     hence the lower, stable power draw of the token phase.
+//   - Training does a forward and backward pass (≈ 6·params FLOPs per
+//     token) punctuated by gradient synchronization, which produces the
+//     paper's per-iteration power swings.
+package llm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arch is the transformer architecture family (paper §2).
+type Arch int
+
+const (
+	// Encoder models (e.g. RoBERTa) contextualize the whole input in one
+	// bidirectional pass; inference has no token-sampling phase.
+	Encoder Arch = iota
+	// Decoder models (e.g. GPT, BLOOM, Llama2) generate autoregressively:
+	// a prompt phase followed by sequential token sampling.
+	Decoder
+	// EncoderDecoder models (e.g. Flan-T5) encode the input once, then
+	// decode autoregressively.
+	EncoderDecoder
+)
+
+// String returns the architecture name.
+func (a Arch) String() string {
+	switch a {
+	case Encoder:
+		return "encoder"
+	case Decoder:
+		return "decoder"
+	case EncoderDecoder:
+		return "encoder-decoder"
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// DType is a numeric datatype for model weights (paper §4.2, "Impact of
+// datatypes").
+type DType int
+
+const (
+	FP32 DType = iota
+	FP16
+	INT8
+	// FP8 is the H100-generation datatype the paper flags as a
+	// forward-looking trade-off ("the FP8 engine in NVIDIA H100 could
+	// further impact these trade-offs", §4.2).
+	FP8
+)
+
+// Bytes returns the storage size of one element.
+func (d DType) Bytes() float64 {
+	switch d {
+	case FP32:
+		return 4
+	case FP16:
+		return 2
+	case INT8, FP8:
+		return 1
+	}
+	return 4
+}
+
+// String returns the datatype name.
+func (d DType) String() string {
+	switch d {
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	case FP8:
+		return "fp8"
+	}
+	return fmt.Sprintf("DType(%d)", int(d))
+}
+
+// KernelEfficiency returns the fraction of peak math throughput that
+// kernels for this datatype typically achieve. FP16 uses highly optimized
+// tensor-core kernels; INT8 (bitsandbytes-style) pays for quantize/
+// dequantize steps and less-tuned kernels, which the paper observes as
+// slower execution despite the smaller footprint.
+func (d DType) KernelEfficiency() float64 {
+	switch d {
+	case FP32:
+		return 0.75
+	case FP16:
+		return 0.95
+	case INT8:
+		return 0.2
+	case FP8:
+		// Native transformer-engine support: no dequantization tax.
+		return 0.9
+	}
+	return 0.75
+}
+
+// MemAmplification returns the factor by which weight-streaming traffic is
+// inflated for this datatype. INT8 (bitsandbytes-style) dequantizes weights
+// to half precision on the fly, reading the quantized weights and spilling
+// dequantized tiles, so its effective traffic exceeds its storage size —
+// this is why the paper finds INT8 *slower* than FP16 despite the smaller
+// footprint.
+func (d DType) MemAmplification() float64 {
+	if d == INT8 {
+		return 2.2
+	}
+	return 1
+}
+
+// Model describes one LLM from the paper's workload table.
+type Model struct {
+	Name   string
+	Arch   Arch
+	Params int64 // total parameter count
+
+	// Architecture shape, used for attention and KV-cache arithmetic.
+	Layers int // transformer blocks (encoder+decoder blocks for enc-dec)
+	Hidden int // model (embedding) dimension
+	Heads  int // attention heads
+	// KVHeads is the number of key/value heads (grouped-query attention).
+	// Zero means full multi-head attention (KVHeads == Heads).
+	KVHeads int
+
+	// InferenceGPUs is the number of A100-80GB GPUs the paper uses to serve
+	// the model (Table 3), i.e. the tensor-parallel degree at FP16.
+	InferenceGPUs int
+
+	// InferenceOnly marks models the paper characterizes only for inference
+	// (Llama2, OPT, BLOOM; Table 3 asterisks).
+	InferenceOnly bool
+}
+
+// kvHeads returns the effective number of KV heads.
+func (m Model) kvHeads() int {
+	if m.KVHeads > 0 {
+		return m.KVHeads
+	}
+	return m.Heads
+}
+
+// Validate reports whether the model description is internally consistent.
+func (m Model) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("llm: model has no name")
+	case m.Params <= 0:
+		return fmt.Errorf("llm: %s: non-positive params", m.Name)
+	case m.Layers <= 0 || m.Hidden <= 0 || m.Heads <= 0:
+		return fmt.Errorf("llm: %s: incomplete architecture shape", m.Name)
+	case m.Hidden%m.Heads != 0:
+		return fmt.Errorf("llm: %s: hidden %d not divisible by heads %d", m.Name, m.Hidden, m.Heads)
+	case m.InferenceGPUs <= 0:
+		return fmt.Errorf("llm: %s: non-positive inference GPU count", m.Name)
+	case m.kvHeads() > m.Heads || m.Heads%m.kvHeads() != 0:
+		return fmt.Errorf("llm: %s: invalid KV head count %d", m.Name, m.KVHeads)
+	}
+	return nil
+}
+
+// WeightBytes returns the size of the model weights in bytes at the given
+// datatype.
+func (m Model) WeightBytes(dt DType) float64 {
+	return float64(m.Params) * dt.Bytes()
+}
+
+// KVBytesPerToken returns the KV-cache growth per generated or cached token
+// per sequence, in bytes: two tensors (K and V) of kv-head width per layer.
+func (m Model) KVBytesPerToken(dt DType) float64 {
+	kvWidth := float64(m.Hidden) * float64(m.kvHeads()) / float64(m.Heads)
+	return 2 * float64(m.Layers) * kvWidth * dt.Bytes()
+}
+
+// PromptFLOPs returns the total floating-point work of processing a prompt
+// of inputLen tokens at the given batch size: the standard 2·params
+// per-token matmul cost plus the quadratic attention-score term
+// (2·2·layers·inputLen²·hidden per sequence, causal-masked halving folded
+// into the constant).
+func (m Model) PromptFLOPs(batch, inputLen int) float64 {
+	if batch <= 0 || inputLen <= 0 {
+		return 0
+	}
+	tokens := float64(batch) * float64(inputLen)
+	linear := 2 * float64(m.Params) * tokens
+	attn := 2 * float64(m.Layers) * float64(inputLen) * float64(m.Hidden) * tokens
+	return linear + attn
+}
+
+// TokenStepFLOPs returns the floating-point work of sampling one token for
+// each sequence in the batch, with kvLen tokens already in the KV cache:
+// 2·params per token plus attention against the cache.
+func (m Model) TokenStepFLOPs(batch, kvLen int) float64 {
+	if batch <= 0 {
+		return 0
+	}
+	b := float64(batch)
+	linear := 2 * float64(m.Params) * b
+	attn := 4 * float64(m.Layers) * float64(kvLen) * float64(m.Hidden) * b * float64(m.kvHeads()) / float64(m.Heads)
+	return linear + attn
+}
+
+// PromptBytes returns the HBM traffic of the prompt phase: weights are read
+// once (they are amortized across all input tokens) plus activation
+// traffic proportional to tokens.
+func (m Model) PromptBytes(dt DType, batch, inputLen int) float64 {
+	if batch <= 0 || inputLen <= 0 {
+		return 0
+	}
+	tokens := float64(batch) * float64(inputLen)
+	activations := 12 * float64(m.Layers) * float64(m.Hidden) * dt.Bytes() * tokens
+	return m.WeightBytes(dt)*dt.MemAmplification() + activations
+}
+
+// TokenStepBytes returns the HBM traffic of one token-sampling step: the
+// entire weight matrix is streamed once per step (this is what makes the
+// token phase memory-bandwidth bound) plus the KV cache read for every
+// sequence in the batch.
+func (m Model) TokenStepBytes(dt DType, batch, kvLen int) float64 {
+	if batch <= 0 {
+		return 0
+	}
+	kv := m.KVBytesPerToken(dt) * float64(kvLen) * float64(batch)
+	return m.WeightBytes(dt)*dt.MemAmplification() + kv
+}
+
+// TrainStepFLOPs returns the floating-point work of one training iteration
+// on tokens = batch·seqLen: forward (2·params) plus backward (4·params) per
+// token, plus the attention terms for both directions.
+func (m Model) TrainStepFLOPs(batch, seqLen int) float64 {
+	if batch <= 0 || seqLen <= 0 {
+		return 0
+	}
+	tokens := float64(batch) * float64(seqLen)
+	linear := 6 * float64(m.Params) * tokens
+	attn := 6 * float64(m.Layers) * float64(seqLen) * float64(m.Hidden) * tokens
+	return linear + attn
+}
+
+// GradientBytes returns the bytes exchanged per GPU in an all-reduce of the
+// model gradients at the given data-parallel degree (ring all-reduce moves
+// ~2·bytes·(n-1)/n per participant).
+func (m Model) GradientBytes(dt DType, dataParallel int) float64 {
+	if dataParallel <= 1 {
+		return 0
+	}
+	n := float64(dataParallel)
+	return 2 * m.WeightBytes(dt) * (n - 1) / n
+}
+
+// Catalog returns the models characterized in the paper (Table 3), in a
+// stable order. Architecture shapes follow the published model cards.
+func Catalog() []Model {
+	models := []Model{
+		{Name: "RoBERTa-355M", Arch: Encoder, Params: 355e6, Layers: 24, Hidden: 1024, Heads: 16, InferenceGPUs: 1},
+		{Name: "Flan-T5-XXL-11B", Arch: EncoderDecoder, Params: 11e9, Layers: 48, Hidden: 4096, Heads: 64, InferenceGPUs: 1},
+		{Name: "Llama2-13B", Arch: Decoder, Params: 13e9, Layers: 40, Hidden: 5120, Heads: 40, InferenceGPUs: 1, InferenceOnly: true},
+		{Name: "GPT-NeoX-20B", Arch: Decoder, Params: 20e9, Layers: 44, Hidden: 6144, Heads: 64, InferenceGPUs: 2},
+		{Name: "OPT-30B", Arch: Decoder, Params: 30e9, Layers: 48, Hidden: 7168, Heads: 56, InferenceGPUs: 4, InferenceOnly: true},
+		{Name: "Llama2-70B", Arch: Decoder, Params: 70e9, Layers: 80, Hidden: 8192, Heads: 64, KVHeads: 8, InferenceGPUs: 4, InferenceOnly: true},
+		{Name: "BLOOM-176B", Arch: Decoder, Params: 176e9, Layers: 70, Hidden: 14336, Heads: 112, InferenceGPUs: 8, InferenceOnly: true},
+	}
+	return models
+}
+
+// ByName returns the catalog model with the given name.
+func ByName(name string) (Model, error) {
+	for _, m := range Catalog() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	names := make([]string, 0, 8)
+	for _, m := range Catalog() {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	return Model{}, fmt.Errorf("llm: unknown model %q (have %v)", name, names)
+}
+
+// MustByName is ByName but panics on error; for use in examples and tests.
+func MustByName(name string) Model {
+	m, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// InferenceModels returns the catalog subset the paper profiles for
+// generative inference timeseries (Figure 6): Flan-T5, GPT-NeoX, OPT,
+// Llama2-70B, BLOOM.
+func InferenceModels() []Model {
+	var out []Model
+	for _, m := range Catalog() {
+		switch m.Name {
+		case "Flan-T5-XXL-11B", "GPT-NeoX-20B", "OPT-30B", "Llama2-70B", "BLOOM-176B":
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TrainingModels returns the catalog subset the paper fine-tunes for the
+// training characterization (Figure 4): RoBERTa, GPT-NeoX, Flan-T5.
+func TrainingModels() []Model {
+	var out []Model
+	for _, m := range Catalog() {
+		switch m.Name {
+		case "RoBERTa-355M", "GPT-NeoX-20B", "Flan-T5-XXL-11B":
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"polca/internal/gpu"
+	"polca/internal/llm"
+)
+
+// TestCalibrationReport prints the model's headline numbers for manual
+// inspection with -v. It asserts nothing beyond successful execution.
+func TestCalibrationReport(t *testing.T) {
+	spec := gpu.A100SXM80GB()
+	for _, m := range llm.InferenceModels() {
+		p, err := NewInference(InferenceConfig{Model: m, DType: llm.FP16, BatchSize: 1, InputTokens: 2048, OutputTokens: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := gpu.NewDevice(spec)
+		pe := d.Run(p.Prompt)
+		te := d.Run(p.Token)
+		t.Logf("%-16s tp=%d prompt: %7.3fs peak=%.2fTDP | token: %7.3fs (%.1f tok/s) mean=%.2fTDP | mem=%.0fGB",
+			m.Name, p.Config.TensorParallel, pe.Duration.Seconds(), pe.PeakPower()/spec.TDPWatts,
+			te.Duration.Seconds(), float64(p.TokenSteps)/te.Duration.Seconds(), te.MeanPower()/spec.TDPWatts, p.MemUsedGB)
+	}
+	bloom := llm.MustByName("BLOOM-176B")
+	p, _ := NewInference(InferenceConfig{Model: bloom, DType: llm.FP16, BatchSize: 1, InputTokens: 8192, OutputTokens: 128})
+	d := gpu.NewDevice(spec)
+	total := d.Run(p.Prompt).Duration + d.Run(p.Token).Duration
+	t.Logf("BLOOM i=8192 o=128 b=1 e2e: %.2fs", total.Seconds())
+
+	for _, c := range TrainingProfiles() {
+		tr, err := NewTraining(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := gpu.NewDevice(gpu.A100SXM40GB())
+		var iter time.Duration
+		var peak float64
+		for _, ph := range tr.Phases() {
+			e := d.Run(ph)
+			iter += e.Duration
+			if e.PeakPower() > peak {
+				peak = e.PeakPower()
+			}
+		}
+		syncP := d.Run(tr.Sync).MeanPower()
+		t.Logf("%-16s iter=%.2fs peak=%.2fTDP syncPower=%.2fTDP",
+			c.Model.Name, iter.Seconds(), peak/400, syncP/400)
+	}
+}

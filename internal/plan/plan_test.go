@@ -1,0 +1,315 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"polca/internal/gpu"
+	"polca/internal/llm"
+)
+
+func bloomCfg(batch, in, out int) InferenceConfig {
+	return InferenceConfig{
+		Model: llm.MustByName("BLOOM-176B"), DType: llm.FP16,
+		BatchSize: batch, InputTokens: in, OutputTokens: out,
+	}
+}
+
+func mustPlan(t *testing.T, c InferenceConfig) Inference {
+	t.Helper()
+	p, err := NewInference(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runE2E executes the plan and returns latency plus prompt/token execs.
+func runE2E(t *testing.T, p Inference) (time.Duration, gpu.Exec, gpu.Exec) {
+	t.Helper()
+	d := gpu.NewDevice(gpu.A100SXM80GB())
+	pe := d.Run(p.Prompt)
+	var te gpu.Exec
+	if p.TokenSteps > 0 {
+		te = d.Run(p.Token)
+	}
+	return pe.Duration + te.Duration, pe, te
+}
+
+func TestDefaultsFromCatalog(t *testing.T) {
+	p := mustPlan(t, bloomCfg(1, 512, 64))
+	if p.Config.TensorParallel != 8 {
+		t.Errorf("BLOOM default TP = %d, want 8 (Table 3)", p.Config.TensorParallel)
+	}
+}
+
+func TestInferenceConfigValidation(t *testing.T) {
+	bad := []InferenceConfig{
+		{},
+		{Model: llm.MustByName("OPT-30B"), BatchSize: 0, InputTokens: 1, OutputTokens: 1},
+		{Model: llm.MustByName("OPT-30B"), BatchSize: 1, InputTokens: 0, OutputTokens: 1},
+		{Model: llm.MustByName("OPT-30B"), BatchSize: 1, InputTokens: 1, OutputTokens: -1},
+		{Model: llm.MustByName("OPT-30B"), TensorParallel: -2, BatchSize: 1, InputTokens: 1},
+	}
+	for i, c := range bad {
+		if _, err := NewInference(c); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestTwoPhaseShape(t *testing.T) {
+	// Figure 6: a short compute spike then a long stable lower plateau.
+	p := mustPlan(t, bloomCfg(1, 2048, 256))
+	_, pe, te := runE2E(t, p)
+	tdp := gpu.A100SXM80GB().TDPWatts
+	if pe.PeakPower() < tdp {
+		t.Errorf("prompt peak %.0f W below TDP", pe.PeakPower())
+	}
+	if r := te.MeanPower() / tdp; r < 0.55 || r > 0.8 {
+		t.Errorf("token plateau = %.2f TDP, want 0.55-0.8", r)
+	}
+	if te.Duration < 5*pe.Duration {
+		t.Errorf("token phase (%v) should dwarf prompt (%v) at 256 outputs", te.Duration, pe.Duration)
+	}
+}
+
+func TestEncoderModelHasNoTokenPhase(t *testing.T) {
+	p := mustPlan(t, InferenceConfig{
+		Model: llm.MustByName("RoBERTa-355M"), DType: llm.FP16,
+		BatchSize: 8, InputTokens: 512, OutputTokens: 100, // output ignored
+	})
+	if p.TokenSteps != 0 {
+		t.Errorf("encoder model has %d token steps, want 0", p.TokenSteps)
+	}
+	if len(p.Phases()) != 1 {
+		t.Errorf("encoder plan phases = %d, want 1", len(p.Phases()))
+	}
+}
+
+func TestPeakPowerRisesWithInputSize(t *testing.T) {
+	// Figure 8a: peak power drastically increases with input size; mean
+	// power stays stable and low.
+	d := gpu.NewDevice(gpu.A100SXM80GB())
+	var lastPeak float64
+	var means []float64
+	for _, in := range []int{256, 1024, 4096, 8192} {
+		p := mustPlan(t, bloomCfg(1, in, 128))
+		peak := d.PeakPower(p.Prompt)
+		if peak < lastPeak-1e-9 {
+			t.Errorf("peak power fell from %.0f to %.0f as input grew to %d", lastPeak, peak, in)
+		}
+		lastPeak = peak
+		means = append(means, d.Run(p.Token).MeanPower())
+	}
+	spread := (means[len(means)-1] - means[0]) / means[0]
+	if spread > 0.25 {
+		t.Errorf("token mean power grew %.0f%% across input sizes, want stable (Figure 8a)", spread*100)
+	}
+}
+
+func TestLatencyInsensitiveToInputUntilLarge(t *testing.T) {
+	// Figure 8b: latency barely moves with input size until >4096 tokens.
+	lat := map[int]time.Duration{}
+	for _, in := range []int{256, 2048, 8192} {
+		l, _, _ := runE2E(t, mustPlan(t, bloomCfg(1, in, 256)))
+		lat[in] = l
+	}
+	if g := float64(lat[2048]) / float64(lat[256]); g > 1.25 {
+		t.Errorf("latency grew %.2fx from input 256 to 2048, want < 1.25x", g)
+	}
+	if g := float64(lat[8192]) / float64(lat[256]); g < 1.2 {
+		t.Errorf("latency grew only %.2fx at input 8192, expected visible growth", g)
+	}
+}
+
+func TestLatencyLinearInOutputSize(t *testing.T) {
+	// Figure 8f: output size stretches execution ~linearly.
+	l1, _, _ := runE2E(t, mustPlan(t, bloomCfg(1, 1024, 128)))
+	l4, _, _ := runE2E(t, mustPlan(t, bloomCfg(1, 1024, 512)))
+	ratio := float64(l4) / float64(l1)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("4x output gave %.2fx latency, want ~4x", ratio)
+	}
+	// Figure 8e: output size leaves peak and mean power unchanged.
+	d := gpu.NewDevice(gpu.A100SXM80GB())
+	p1 := mustPlan(t, bloomCfg(1, 1024, 128))
+	p4 := mustPlan(t, bloomCfg(1, 1024, 512))
+	if pk1, pk4 := d.PeakPower(p1.Prompt), d.PeakPower(p4.Prompt); pk1 != pk4 {
+		t.Errorf("peak power changed with output size: %v vs %v", pk1, pk4)
+	}
+	m1 := d.Run(p1.Token).MeanPower()
+	m4 := d.Run(p4.Token).MeanPower()
+	if diff := (m4 - m1) / m1; diff > 0.1 || diff < -0.1 {
+		t.Errorf("token mean power moved %.0f%% with output size, want stable", diff*100)
+	}
+}
+
+func TestBatchRaisesPeakAndMeanPower(t *testing.T) {
+	// Figure 8c: batch raises peak power (more prompt compute) and nudges
+	// mean power up (more tokens in flight).
+	d := gpu.NewDevice(gpu.A100SXM80GB())
+	p1 := mustPlan(t, bloomCfg(1, 512, 128))
+	p16 := mustPlan(t, bloomCfg(16, 512, 128))
+	if d.PeakPower(p16.Prompt) < d.PeakPower(p1.Prompt) {
+		t.Error("peak power should not fall with batch size")
+	}
+	m1 := d.Run(p1.Token).MeanPower()
+	m16 := d.Run(p16.Token).MeanPower()
+	if m16 <= m1 {
+		t.Errorf("token mean power %v at batch 16 should exceed %v at batch 1", m16, m1)
+	}
+}
+
+func TestLargerModelsDrawMorePower(t *testing.T) {
+	// §4.2: larger models show larger peak and mean power at the same config.
+	d := gpu.NewDevice(gpu.A100SXM80GB())
+	small := mustPlan(t, InferenceConfig{Model: llm.MustByName("GPT-NeoX-20B"), DType: llm.FP16, BatchSize: 1, InputTokens: 2048, OutputTokens: 128})
+	big := mustPlan(t, bloomCfg(1, 2048, 128))
+	if d.Run(big.Token).MeanPower() <= d.Run(small.Token).MeanPower() {
+		t.Error("BLOOM token power should exceed GPT-NeoX (more weight streaming per GPU)")
+	}
+}
+
+func TestGPUsForDType(t *testing.T) {
+	l70 := llm.MustByName("Llama2-70B")
+	l13 := llm.MustByName("Llama2-13B")
+	cases := []struct {
+		m    llm.Model
+		dt   llm.DType
+		want int
+	}{
+		{l70, llm.FP32, 4},
+		{l70, llm.FP16, 2},
+		{l70, llm.INT8, 1}, // weights alone fit; paper notes KV may still force 2
+		{l13, llm.FP32, 1},
+		{l13, llm.FP16, 1},
+		{l13, llm.INT8, 1},
+	}
+	for _, c := range cases {
+		if got := GPUsForDType(c.m, c.dt, 80); got != c.want {
+			t.Errorf("GPUsForDType(%s, %v) = %d, want %d", c.m.Name, c.dt, got, c.want)
+		}
+	}
+}
+
+func TestDatatypeTradeoffs(t *testing.T) {
+	// §4.2: FP16 is fastest with highest peak power (tensor cores); FP32 and
+	// INT8 are slower. Fewer GPUs at smaller datatypes draw less total power.
+	m := llm.MustByName("Llama2-70B")
+	lat := map[llm.DType]time.Duration{}
+	for _, dt := range []llm.DType{llm.FP32, llm.FP16, llm.INT8} {
+		tp := GPUsForDType(m, dt, 80)
+		if dt == llm.INT8 {
+			tp = 2 // paper: activations/KV preclude a single GPU
+		}
+		p := mustPlan(t, InferenceConfig{Model: m, DType: dt, TensorParallel: tp, BatchSize: 1, InputTokens: 1024, OutputTokens: 128})
+		l, _, _ := runE2E(t, p)
+		lat[dt] = l
+	}
+	if lat[llm.FP16] >= lat[llm.FP32] {
+		t.Errorf("FP16 (%v) should beat FP32 (%v)", lat[llm.FP16], lat[llm.FP32])
+	}
+	if lat[llm.FP16] >= lat[llm.INT8] {
+		t.Errorf("FP16 (%v) should beat INT8 (%v) due to kernel efficiency", lat[llm.FP16], lat[llm.INT8])
+	}
+}
+
+func TestMemUsage(t *testing.T) {
+	p := mustPlan(t, bloomCfg(1, 2048, 256))
+	// 352 GB FP16 weights over 8 GPUs = 44 GB + KV.
+	if p.MemUsedGB < 44 || p.MemUsedGB > 60 {
+		t.Errorf("BLOOM per-GPU memory = %.0f GB, want 44-60", p.MemUsedGB)
+	}
+	if p.MemUsedGB > gpu.A100SXM80GB().MemoryGB {
+		t.Errorf("plan exceeds GPU memory: %.0f GB", p.MemUsedGB)
+	}
+}
+
+func TestTrainingProfiles(t *testing.T) {
+	profiles := TrainingProfiles()
+	if len(profiles) != 3 {
+		t.Fatalf("profiles = %d, want 3 (Figure 4)", len(profiles))
+	}
+	tdp := gpu.A100SXM40GB().TDPWatts
+	troughTargets := map[string][2]float64{
+		"RoBERTa-355M":    {0.65, 0.85}, // paper: ~75% of TDP at boundary
+		"GPT-NeoX-20B":    {0.4, 0.6},   // ~50%
+		"Flan-T5-XXL-11B": {0.18, 0.3},  // ~20% (idle)
+	}
+	for _, c := range profiles {
+		tr, err := NewTraining(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := gpu.NewDevice(gpu.A100SXM40GB())
+		var iter time.Duration
+		for _, ph := range tr.Phases() {
+			iter += d.Run(ph).Duration
+		}
+		if iter < 500*time.Millisecond || iter > 8*time.Second {
+			t.Errorf("%s iteration = %v, want 0.5-8 s", c.Model.Name, iter)
+		}
+		trough := d.Run(tr.Sync).MeanPower() / tdp
+		want := troughTargets[c.Model.Name]
+		if trough < want[0] || trough > want[1] {
+			t.Errorf("%s sync trough = %.2f TDP, want %v (Figure 4)", c.Model.Name, trough, want)
+		}
+	}
+}
+
+func TestTrainingPeaks(t *testing.T) {
+	// Insight 1: peaks reach or exceed TDP for GPT-NeoX and Flan-T5 but not
+	// for RoBERTa.
+	tdp := gpu.A100SXM40GB().TDPWatts
+	for _, c := range TrainingProfiles() {
+		tr, _ := NewTraining(c)
+		d := gpu.NewDevice(gpu.A100SXM40GB())
+		peak := 0.0
+		for _, ph := range tr.Phases() {
+			if p := d.Run(ph).PeakPower(); p > peak {
+				peak = p
+			}
+		}
+		if c.Model.Name == "RoBERTa-355M" {
+			if peak >= tdp {
+				t.Errorf("RoBERTa peak %.0f W should stay below TDP (Figure 4)", peak)
+			}
+		} else if peak < tdp {
+			t.Errorf("%s peak %.0f W should reach TDP (Figure 4)", c.Model.Name, peak)
+		}
+	}
+}
+
+func TestTrainingValidation(t *testing.T) {
+	m := llm.MustByName("RoBERTa-355M")
+	bad := []TrainingConfig{
+		{},
+		{Model: m, GPUs: 0, Batch: 1, SeqLen: 1},
+		{Model: m, GPUs: 1, Batch: 0, SeqLen: 1},
+		{Model: m, GPUs: 1, Batch: 1, SeqLen: 0},
+		{Model: m, GPUs: 1, Batch: 1, SeqLen: 1, SyncOverlap: 1.5},
+	}
+	for i, c := range bad {
+		if _, err := NewTraining(c); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestTrainingPhaseOrder(t *testing.T) {
+	tr, err := NewTraining(TrainingProfiles()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"forward", "middip", "backward", "sync"}
+	for i, ph := range tr.Phases() {
+		if ph.Name != names[i] {
+			t.Errorf("phase[%d] = %s, want %s", i, ph.Name, names[i])
+		}
+	}
+	// Backward is ~2x forward compute.
+	if r := tr.Backward.FLOPs / tr.Forward.FLOPs; r < 1.9 || r > 2.1 {
+		t.Errorf("bwd/fwd FLOPs = %.2f, want ~2", r)
+	}
+}

@@ -1,0 +1,143 @@
+package polca_test
+
+import (
+	"strings"
+	"testing"
+
+	"polca/internal/polca"
+	"polca/internal/workload"
+)
+
+func TestLadderValidation(t *testing.T) {
+	if _, err := polca.NewLadder("x", nil); err == nil {
+		t.Error("empty ladder should fail")
+	}
+	bad := [][]polca.Rung{
+		{{Trigger: 0, Margin: 0.05, LockMHz: 1}},
+		{{Trigger: 0.8, Margin: 0, LockMHz: 1}},
+		{{Trigger: 0.8, Margin: 0.9, LockMHz: 1}},
+		{{Trigger: 0.8, Margin: 0.05, LockMHz: 0}},
+		{{Trigger: 0.8, Margin: 0.05, LockMHz: 1, Delay: -1}},
+	}
+	for i, rungs := range bad {
+		if _, err := polca.NewLadder("x", rungs); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestLadderMatchesDualThresholdPolicy(t *testing.T) {
+	// The ladder expressing the paper's config must act like the
+	// hand-written dual-threshold state machine across a utilization
+	// journey covering engage, escalate, hysteresis, and release.
+	ladder, err := polca.FromConfig(polca.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := polca.New(polca.DefaultConfig())
+
+	journey := []float64{
+		0.70, 0.82, 0.85, 0.90, 0.90, 0.90, // climb through T1, T2, escalate
+		0.86, 0.82, 0.78, 0.74, 0.70, // descend through the bands
+		0.90, 0.90, 0.90, // re-engage
+	}
+	la, pa := newFake(), newFake()
+	for _, u := range journey {
+		tick(ladder, la, u)
+		tick(policy, pa, u)
+		for _, pool := range []workload.Priority{workload.Low, workload.High} {
+			if la.locks[pool] != pa.locks[pool] {
+				t.Fatalf("at util %.2f: ladder %s=%v, policy %s=%v",
+					u, pool, la.locks[pool], pool, pa.locks[pool])
+			}
+		}
+	}
+}
+
+func TestLadderThreePriorityStyle(t *testing.T) {
+	// A deeper ladder: three escalating LP actions plus a guarded HP one.
+	ladder, err := polca.NewLadder("3-step", []polca.Rung{
+		{Trigger: 0.75, Margin: 0.05, Pool: workload.Low, LockMHz: 1335},
+		{Trigger: 0.82, Margin: 0.05, Pool: workload.Low, LockMHz: 1200},
+		{Trigger: 0.90, Margin: 0.05, Pool: workload.Low, LockMHz: 1050},
+		{Trigger: 0.90, Margin: 0.05, Pool: workload.High, LockMHz: 1305, Delay: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := newFake()
+	tick(ladder, act, 0.78)
+	if act.locks[workload.Low] != 1335 {
+		t.Errorf("first rung lock = %v", act.locks[workload.Low])
+	}
+	tick(ladder, act, 0.85)
+	if act.locks[workload.Low] != 1200 {
+		t.Errorf("second rung lock = %v", act.locks[workload.Low])
+	}
+	tick(ladder, act, 0.91)
+	if act.locks[workload.Low] != 1050 {
+		t.Errorf("third rung lock = %v", act.locks[workload.Low])
+	}
+	if act.locks[workload.High] != 0 {
+		t.Error("delayed HP rung engaged immediately")
+	}
+	tick(ladder, act, 0.91)
+	if act.locks[workload.High] != 1305 {
+		t.Error("delayed HP rung did not engage on the second hot tick")
+	}
+	// Deep release unlocks everything.
+	tick(ladder, act, 0.60)
+	if act.locks[workload.Low] != 0 || act.locks[workload.High] != 0 {
+		t.Errorf("release failed: %v", act.locks)
+	}
+}
+
+func TestLadderHysteresisHoldsState(t *testing.T) {
+	ladder, err := polca.NewLadder("h", []polca.Rung{
+		{Trigger: 0.80, Margin: 0.05, Pool: workload.Low, LockMHz: 1275},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := newFake()
+	tick(ladder, act, 0.81)
+	tick(ladder, act, 0.77) // inside the band
+	if act.locks[workload.Low] != 1275 {
+		t.Error("released inside the hysteresis band")
+	}
+	tick(ladder, act, 0.74)
+	if act.locks[workload.Low] != 0 {
+		t.Error("did not release below the band")
+	}
+}
+
+func TestLadderDeepestWinsPerPool(t *testing.T) {
+	ladder, err := polca.NewLadder("d", []polca.Rung{
+		{Trigger: 0.70, Margin: 0.05, Pool: workload.Low, LockMHz: 1300},
+		{Trigger: 0.75, Margin: 0.05, Pool: workload.Low, LockMHz: 1100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := newFake()
+	tick(ladder, act, 0.80)
+	if act.locks[workload.Low] != 1100 {
+		t.Errorf("deepest engaged rung should win: %v", act.locks[workload.Low])
+	}
+}
+
+func TestLadderDescribe(t *testing.T) {
+	ladder, _ := polca.FromConfig(polca.DefaultConfig())
+	act := newFake()
+	tick(ladder, act, 0.85)
+	out := ladder.Describe()
+	if !strings.Contains(out, "80%") || !strings.Contains(out, "1275") {
+		t.Errorf("describe missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("engaged rung not marked")
+	}
+	if len(ladder.Rungs()) != 3 {
+		t.Errorf("rungs = %d", len(ladder.Rungs()))
+	}
+}

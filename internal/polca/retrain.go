@@ -1,0 +1,135 @@
+package polca
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/stats"
+)
+
+// Recommendation is the outcome of a policy retraining pass (§6.3: "as
+// workloads evolve, POLCA infrequently updates the policy parameters using
+// power traces and capping history").
+type Recommendation struct {
+	Current   Config
+	Suggested Config
+	// Changed reports whether Suggested differs from Current.
+	Changed bool
+	// Reasons explains each adjustment, in order of application.
+	Reasons []string
+}
+
+// RetrainInput is the observation window a retraining pass analyzes.
+type RetrainInput struct {
+	// Util is the observed row utilization series.
+	Util stats.Series
+	// BrakeEvents observed during the window.
+	BrakeEvents int
+	// OOBLatency is the actuation delay the thresholds must absorb.
+	OOBLatency time.Duration
+	// BrakeUtil is the utilization at which the power brake fires.
+	BrakeUtil float64
+}
+
+// Retrain analyzes a completed observation window and recommends updated
+// thresholds:
+//
+//   - T2 must sit below the brake point by at least the largest power rise
+//     observed within the OOB latency, so a spike beginning as capping
+//     triggers still cannot reach the brake.
+//   - Any observed brake event is treated as evidence the margin was too
+//     thin: T2 drops an extra safety step.
+//   - If the row never came near T2, the thresholds are left alone —
+//     raising them wins nothing and burns the safety margin.
+//   - T1 follows T2 at 80% of the observed rise band, as in the initial
+//     training procedure.
+func Retrain(current Config, in RetrainInput) Recommendation {
+	rec := Recommendation{Current: current, Suggested: current}
+	if in.Util.Len() < 2 {
+		rec.Reasons = append(rec.Reasons, "insufficient telemetry; keeping thresholds")
+		return rec
+	}
+	if in.BrakeUtil <= 0 {
+		in.BrakeUtil = 1.0
+	}
+	rise := in.Util.MaxRise(in.OOBLatency)
+	if rise < 0.02 {
+		rise = 0.02
+	}
+
+	safeT2 := math.Floor((in.BrakeUtil-rise)*100) / 100
+	if in.BrakeEvents > 0 {
+		// Brakes fired at the current setting: whatever the analytic
+		// ceiling says, the current T2 demonstrably was not safe.
+		safeT2 = math.Min(safeT2, current.T2) - 0.02
+		safeT2 = math.Floor(safeT2*100) / 100
+		rec.Reasons = append(rec.Reasons,
+			fmt.Sprintf("%d power brake(s) observed: tightening T2 by an extra 2 points", in.BrakeEvents))
+	}
+
+	// Move gradually: a single pass tightens by at most 5 points. Post-
+	// brake traces contain brake-release transients that inflate the rise
+	// estimate, and operators re-evaluate after each adjustment anyway.
+	if floor := current.T2 - 0.05; safeT2 < floor {
+		safeT2 = floor
+	}
+
+	peak := in.Util.Peak()
+	switch {
+	case safeT2 < current.T2:
+		rec.Suggested.T2 = safeT2
+		rec.Reasons = append(rec.Reasons,
+			fmt.Sprintf("observed %.0f%% rise within the %v OOB window: T2 %.0f%% -> %.0f%% (max 5 points per pass)",
+				rise*100, in.OOBLatency, current.T2*100, safeT2*100))
+	case peak < current.T2-current.UncapMargin:
+		rec.Reasons = append(rec.Reasons,
+			fmt.Sprintf("peak utilization %.0f%% never reached T2 %.0f%%; keeping thresholds",
+				peak*100, current.T2*100))
+	default:
+		rec.Reasons = append(rec.Reasons, "thresholds remain within the safe band")
+	}
+
+	t1 := math.Floor((rec.Suggested.T2-rise*0.8)*100) / 100
+	if t1 < rec.Suggested.T2-0.15 {
+		t1 = rec.Suggested.T2 - 0.15
+	}
+	if t1 != rec.Suggested.T1 && rec.Suggested.T2 != current.T2 {
+		rec.Reasons = append(rec.Reasons,
+			fmt.Sprintf("T1 follows: %.0f%% -> %.0f%%", rec.Suggested.T1*100, t1*100))
+		rec.Suggested.T1 = t1
+	}
+
+	if rec.Suggested.Validate() != nil {
+		// Never recommend an invalid configuration.
+		rec.Suggested = current
+		rec.Reasons = append(rec.Reasons, "derived thresholds invalid; keeping current configuration")
+	}
+	rec.Changed = rec.Suggested != rec.Current
+	return rec
+}
+
+// RetrainFromMetrics runs Retrain on a completed cluster simulation.
+func RetrainFromMetrics(current Config, m *cluster.Metrics) Recommendation {
+	return Retrain(current, RetrainInput{
+		Util:        m.Util,
+		BrakeEvents: m.BrakeEvents,
+		OOBLatency:  m.Config.OOBLatency,
+		BrakeUtil:   m.Config.BrakeUtil,
+	})
+}
+
+// Describe renders the recommendation for operators.
+func (r Recommendation) Describe() string {
+	out := fmt.Sprintf("current:   T1=%.0f%% T2=%.0f%%\n", r.Current.T1*100, r.Current.T2*100)
+	out += fmt.Sprintf("suggested: T1=%.0f%% T2=%.0f%%", r.Suggested.T1*100, r.Suggested.T2*100)
+	if !r.Changed {
+		out += " (unchanged)"
+	}
+	out += "\n"
+	for _, reason := range r.Reasons {
+		out += "  - " + reason + "\n"
+	}
+	return out
+}

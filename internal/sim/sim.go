@@ -1,0 +1,239 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// underlying the POLCA reproduction. The engine keeps a virtual clock and a
+// priority queue of pending events; all model code — GPUs, servers, power
+// managers, request schedulers — runs as event handlers against this clock.
+//
+// Determinism is a design goal (the paper's evaluation requires replaying
+// identical six-week traces across policies): events scheduled for the same
+// instant fire in scheduling order, and all randomness is derived from named
+// streams seeded from the engine's root seed. No wall-clock time is read
+// anywhere in the simulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant on the simulation clock, measured as a duration from
+// the start of the simulation. Using time.Duration (integer nanoseconds)
+// keeps six-week simulations free of floating-point drift.
+type Time = time.Duration
+
+// Handler is an event callback. It runs at its scheduled virtual time and
+// may schedule further events.
+type Handler func(now Time)
+
+// event is an entry in the engine's queue.
+type event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among events at the same instant
+	fn     Handler
+	cancel *bool // non-nil when the event belongs to a cancelable timer
+	index  int
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	seed    int64
+	running bool
+}
+
+// New returns an Engine whose clock starts at zero and whose random streams
+// derive from seed.
+func New(seed int64) *Engine {
+	return &Engine{seed: seed}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the engine's root seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rand returns a deterministic random stream derived from the engine seed
+// and the given name. Distinct names yield independent streams; calling
+// Rand twice with the same name returns streams with identical sequences,
+// so callers should create each stream once and retain it.
+func (e *Engine) Rand(name string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", e.seed, name)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past (before Now) panics: it would silently reorder causality.
+func (e *Engine) At(at Time, fn Handler) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d time.Duration, fn Handler) {
+	e.At(e.now+d, fn)
+}
+
+// Timer is a handle to a cancelable scheduled or repeating event.
+type Timer struct {
+	canceled *bool
+}
+
+// Stop cancels the timer. Events already dispatched are unaffected. Stop is
+// idempotent and safe on the zero Timer.
+func (t Timer) Stop() {
+	if t.canceled != nil {
+		*t.canceled = true
+	}
+}
+
+// AfterCancelable schedules fn after d and returns a Timer that can cancel
+// it before it fires.
+func (e *Engine) AfterCancelable(d time.Duration, fn Handler) Timer {
+	canceled := new(bool)
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + d, seq: e.seq, fn: fn, cancel: canceled})
+	return Timer{canceled: canceled}
+}
+
+// Every schedules fn to run at now+period, then every period thereafter,
+// until the returned Timer is stopped. period must be positive.
+func (e *Engine) Every(period time.Duration, fn Handler) Timer {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	canceled := new(bool)
+	var tick Handler
+	tick = func(now Time) {
+		if *canceled {
+			return
+		}
+		fn(now)
+		if *canceled {
+			return
+		}
+		e.seq++
+		heap.Push(&e.queue, &event{at: now + period, seq: e.seq, fn: tick, cancel: canceled})
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + period, seq: e.seq, fn: tick, cancel: canceled})
+	return Timer{canceled: canceled}
+}
+
+// EveryFrom is like Every but fires the first tick at start (an absolute
+// time >= Now) instead of now+period.
+func (e *Engine) EveryFrom(start Time, period time.Duration, fn Handler) Timer {
+	if period <= 0 {
+		panic("sim: EveryFrom with non-positive period")
+	}
+	canceled := new(bool)
+	var tick Handler
+	tick = func(now Time) {
+		if *canceled {
+			return
+		}
+		fn(now)
+		if *canceled {
+			return
+		}
+		e.seq++
+		heap.Push(&e.queue, &event{at: now + period, seq: e.seq, fn: tick, cancel: canceled})
+	}
+	if start < e.now {
+		panic(fmt.Sprintf("sim: EveryFrom start %v before now %v", start, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: start, seq: e.seq, fn: tick, cancel: canceled})
+	return Timer{canceled: canceled}
+}
+
+// Step dispatches the next pending event and reports whether one existed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancel != nil && *ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fn(ev.at)
+		return true
+	}
+	return false
+}
+
+// RunUntil dispatches events in timestamp order until the queue is empty or
+// the next event is strictly after deadline. The clock is left at the later
+// of its current value and deadline, so back-to-back RunUntil calls advance
+// time monotonically even across idle gaps.
+func (e *Engine) RunUntil(deadline Time) {
+	if e.running {
+		panic("sim: reentrant RunUntil")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.cancel != nil && *next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn(next.at)
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Run dispatches all pending events until the queue is empty. Use with
+// care: self-rescheduling timers make the queue inexhaustible; prefer
+// RunUntil for simulations that contain periodic tasks.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Pending returns the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return e.queue.Len() }

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAutocorrelation(t *testing.T) {
+	// A pure sine has autocorrelation ~1 at its period and ~-1 at half.
+	n := 1000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 100)
+	}
+	r1, err := Autocorrelation(xs, 100)
+	if err != nil || r1 < 0.95 {
+		t.Errorf("period lag r = %v, %v", r1, err)
+	}
+	r2, err := Autocorrelation(xs, 50)
+	if err != nil || r2 > -0.95 {
+		t.Errorf("half-period lag r = %v, %v", r2, err)
+	}
+	if _, err := Autocorrelation(xs, 0); err == nil {
+		t.Error("zero lag should error")
+	}
+	if _, err := Autocorrelation(xs[:3], 5); err == nil {
+		t.Error("short input should error")
+	}
+}
+
+func TestSeriesAutocorrelation(t *testing.T) {
+	s := Series{Step: time.Second, Values: make([]float64, 600)}
+	for i := range s.Values {
+		s.Values[i] = math.Sin(2 * math.Pi * float64(i) / 60)
+	}
+	r, err := s.Autocorrelation(time.Minute)
+	if err != nil || r < 0.95 {
+		t.Errorf("1-minute lag r = %v, %v", r, err)
+	}
+	if _, err := (Series{}).Autocorrelation(time.Second); err == nil {
+		t.Error("series without step should error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.5, 0.5, 0.55, 0.6, 1.0}
+	h := NewHistogram(xs, 4)
+	if h.N != len(xs) {
+		t.Errorf("N = %d", h.N)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("counts sum to %d", total)
+	}
+	// Mode bin contains the two 0.5 samples (plus 0.6).
+	if m := h.Mode(); m < 0.5 || m > 0.75 {
+		t.Errorf("mode = %v", m)
+	}
+	// CDF is monotone from 0 to 1.
+	prev := -1.0
+	for x := -0.5; x <= 1.5; x += 0.1 {
+		c := h.CDFAt(x)
+		if c < prev-1e-9 || c < 0 || c > 1 {
+			t.Fatalf("CDF not monotone at %v: %v after %v", x, c, prev)
+		}
+		prev = c
+	}
+	if h.CDFAt(2) != 1 {
+		t.Errorf("CDF(2) = %v", h.CDFAt(2))
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "█") {
+		t.Error("render missing bars")
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	if h := NewHistogram(nil, 3); h.N != 0 {
+		t.Error("empty histogram")
+	}
+	// Constant data occupies one bin.
+	h := NewHistogram([]float64{5, 5, 5}, 4)
+	if h.N != 3 {
+		t.Errorf("constant N = %d", h.N)
+	}
+	// NaN samples are skipped.
+	h = NewHistogram([]float64{1, math.NaN(), 2}, 2)
+	if h.N != 2 {
+		t.Errorf("NaN not skipped: N = %d", h.N)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bins should panic")
+		}
+	}()
+	NewHistogram([]float64{1}, 0)
+}

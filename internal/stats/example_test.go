@@ -1,0 +1,46 @@
+package stats_test
+
+import (
+	"fmt"
+	"time"
+
+	"polca/internal/stats"
+)
+
+func ExamplePercentile() {
+	latencies := []float64{12, 15, 11, 48, 13, 14, 90, 12}
+	fmt.Printf("p50 = %.1f\n", stats.Percentile(latencies, 50))
+	fmt.Printf("p99 = %.1f\n", stats.Percentile(latencies, 99))
+	// Output:
+	// p50 = 13.5
+	// p99 = 87.1
+}
+
+func ExampleMAPE() {
+	reference := []float64{0.60, 0.62, 0.65}
+	simulated := []float64{0.61, 0.61, 0.66}
+	mape, _ := stats.MAPE(reference, simulated)
+	fmt.Printf("MAPE = %.1f%%\n", mape*100)
+	// Output:
+	// MAPE = 1.6%
+}
+
+func ExampleSeries_MaxRise() {
+	// Row power rising 3 points per 2 s sample: the largest rise any 40 s
+	// window can contain is 20 samples' worth.
+	s := stats.Series{Step: 2 * time.Second, Values: make([]float64, 60)}
+	for i := range s.Values {
+		s.Values[i] = 0.5 + 0.003*float64(i)
+	}
+	fmt.Printf("max rise in 40s = %.2f\n", s.MaxRise(40*time.Second))
+	// Output:
+	// max rise in 40s = 0.06
+}
+
+func ExampleSeries_Downsample() {
+	s := stats.Series{Step: time.Second, Values: []float64{1, 3, 5, 7}}
+	d := s.Downsample(2 * time.Second)
+	fmt.Println(d.Values)
+	// Output:
+	// [2 6]
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// Series is a regularly sampled timeseries: Values[i] was observed at
+// Start + i*Step. It is the interchange format between the simulator's
+// telemetry and the experiment harnesses.
+type Series struct {
+	Start  time.Duration // offset of the first sample from simulation start
+	Step   time.Duration // sampling interval, > 0
+	Values []float64
+}
+
+// Len returns the number of samples.
+func (s Series) Len() int { return len(s.Values) }
+
+// Duration returns the time span covered by the series.
+func (s Series) Duration() time.Duration {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return time.Duration(len(s.Values)) * s.Step
+}
+
+// TimeAt returns the timestamp of sample i.
+func (s Series) TimeAt(i int) time.Duration {
+	return s.Start + time.Duration(i)*s.Step
+}
+
+// Downsample returns a new series whose samples are means over windows of
+// the given size. window must be a positive multiple of s.Step; a trailing
+// partial window is averaged over the samples it contains.
+func (s Series) Downsample(window time.Duration) Series {
+	if s.Step <= 0 || window < s.Step {
+		return s
+	}
+	per := int(window / s.Step)
+	if per <= 1 {
+		return s
+	}
+	out := Series{Start: s.Start, Step: time.Duration(per) * s.Step}
+	for i := 0; i < len(s.Values); i += per {
+		end := i + per
+		if end > len(s.Values) {
+			end = len(s.Values)
+		}
+		out.Values = append(out.Values, Mean(s.Values[i:end]))
+	}
+	return out
+}
+
+// MaxRise returns the largest increase of the series within any window of
+// the given duration: max over (i, j) with TimeAt(j)-TimeAt(i) <= window and
+// j > i of Values[j]-Values[i]. This implements the paper's "max power
+// spike in N seconds" metric (Table 4). It returns 0 for series with fewer
+// than two samples or a non-positive result if the series never rises.
+func (s Series) MaxRise(window time.Duration) float64 {
+	if len(s.Values) < 2 || s.Step <= 0 {
+		return 0
+	}
+	span := int(window / s.Step)
+	if span < 1 {
+		span = 1
+	}
+	best := math.Inf(-1)
+	// Sliding-window minimum via monotonic deque of indices.
+	deque := make([]int, 0, span+1)
+	for j := range s.Values {
+		lo := j - span
+		for len(deque) > 0 && deque[0] < lo {
+			deque = deque[1:]
+		}
+		if len(deque) > 0 {
+			if rise := s.Values[j] - s.Values[deque[0]]; rise > best {
+				best = rise
+			}
+		}
+		for len(deque) > 0 && s.Values[deque[len(deque)-1]] >= s.Values[j] {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, j)
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}
+
+// Slice returns the sub-series covering [from, to) relative to simulation
+// start. Samples outside the series are clipped.
+func (s Series) Slice(from, to time.Duration) Series {
+	if s.Step <= 0 || len(s.Values) == 0 {
+		return Series{Start: from, Step: s.Step}
+	}
+	lo := int((from - s.Start) / s.Step)
+	hi := int((to - s.Start) / s.Step)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.Values) {
+		hi = len(s.Values)
+	}
+	if lo >= hi {
+		return Series{Start: from, Step: s.Step}
+	}
+	return Series{Start: s.TimeAt(lo), Step: s.Step, Values: s.Values[lo:hi]}
+}
+
+// Peak returns the maximum sample value, or 0 for an empty series.
+func (s Series) Peak() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return Max(s.Values)
+}
+
+// Mean returns the mean sample value.
+func (s Series) Mean() float64 { return Mean(s.Values) }

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := Series{Start: time.Second, Step: time.Second, Values: []float64{1, 2, 3, 4}}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Duration() != 4*time.Second {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+	if s.TimeAt(2) != 3*time.Second {
+		t.Errorf("TimeAt(2) = %v", s.TimeAt(2))
+	}
+	if s.Peak() != 4 || s.Mean() != 2.5 {
+		t.Errorf("Peak/Mean = %v/%v", s.Peak(), s.Mean())
+	}
+	if (Series{}).Duration() != 0 || (Series{}).Peak() != 0 {
+		t.Error("empty series misbehaves")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := Series{Step: time.Second, Values: []float64{1, 3, 5, 7, 9}}
+	d := s.Downsample(2 * time.Second)
+	want := []float64{2, 6, 9} // last window is partial
+	if len(d.Values) != len(want) {
+		t.Fatalf("Downsample len = %d, want %d", len(d.Values), len(want))
+	}
+	for i := range want {
+		if d.Values[i] != want[i] {
+			t.Errorf("Downsample[%d] = %v, want %v", i, d.Values[i], want[i])
+		}
+	}
+	if d.Step != 2*time.Second {
+		t.Errorf("Downsample step = %v", d.Step)
+	}
+	// Window smaller than step is a no-op.
+	same := s.Downsample(time.Millisecond)
+	if same.Len() != s.Len() {
+		t.Error("Downsample with tiny window should be identity")
+	}
+}
+
+func TestDownsamplePreservesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		n := 8 * (1 + int(seed%9+9)%9)
+		s := Series{Step: time.Second, Values: make([]float64, n)}
+		for i := range s.Values {
+			s.Values[i] = rng.Float64() * 1000
+		}
+		d := s.Downsample(4 * time.Second)
+		return almostEqual(d.Mean(), s.Mean(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRise(t *testing.T) {
+	// Ramp 0..5 with step 1s: max rise within 2s window is 2.
+	s := Series{Step: time.Second, Values: []float64{0, 1, 2, 3, 4, 5}}
+	if got := s.MaxRise(2 * time.Second); got != 2 {
+		t.Errorf("MaxRise(2s) = %v, want 2", got)
+	}
+	if got := s.MaxRise(10 * time.Second); got != 5 {
+		t.Errorf("MaxRise(10s) = %v, want 5", got)
+	}
+	// A falling series still reports the best (possibly tiny) rise; here none.
+	f := Series{Step: time.Second, Values: []float64{5, 4, 3}}
+	if got := f.MaxRise(2 * time.Second); got > 0 {
+		t.Errorf("MaxRise falling = %v, want <= 0", got)
+	}
+	// Spike then recovery: window must catch the trough-to-peak rise.
+	sp := Series{Step: time.Second, Values: []float64{10, 2, 9, 3, 3}}
+	if got := sp.MaxRise(time.Second); got != 7 {
+		t.Errorf("MaxRise spike = %v, want 7", got)
+	}
+	if got := (Series{}).MaxRise(time.Second); got != 0 {
+		t.Errorf("MaxRise empty = %v, want 0", got)
+	}
+}
+
+func TestMaxRiseMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		n := 2 + int(seed%61+61)%61
+		s := Series{Step: 100 * time.Millisecond, Values: make([]float64, n)}
+		for i := range s.Values {
+			s.Values[i] = rng.Float64() * 100
+		}
+		window := time.Duration(1+int(seed%7+7)%7) * 100 * time.Millisecond
+		span := int(window / s.Step)
+		brute := 0.0
+		found := false
+		for j := 1; j < n; j++ {
+			for i := j - span; i < j; i++ {
+				if i < 0 {
+					continue
+				}
+				if r := s.Values[j] - s.Values[i]; !found || r > brute {
+					brute, found = r, true
+				}
+			}
+		}
+		got := s.MaxRise(window)
+		if !found {
+			return got == 0
+		}
+		return almostEqual(got, brute, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := Series{Start: 0, Step: time.Second, Values: []float64{0, 1, 2, 3, 4, 5}}
+	sub := s.Slice(2*time.Second, 4*time.Second)
+	if sub.Len() != 2 || sub.Values[0] != 2 || sub.Values[1] != 3 {
+		t.Errorf("Slice = %+v", sub)
+	}
+	if sub.Start != 2*time.Second {
+		t.Errorf("Slice start = %v", sub.Start)
+	}
+	// Clipping beyond bounds.
+	all := s.Slice(-time.Hour, time.Hour)
+	if all.Len() != 6 {
+		t.Errorf("Slice clipped len = %d", all.Len())
+	}
+	empty := s.Slice(10*time.Second, 20*time.Second)
+	if empty.Len() != 0 {
+		t.Errorf("Slice out of range len = %d", empty.Len())
+	}
+}

@@ -1,0 +1,44 @@
+package trace_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"polca/internal/trace"
+)
+
+// ExampleFitArrivals walks the §6.4 methodology: generate the reference
+// power curve, fit a request arrival plan to it, and validate the fit with
+// the paper's MAPE criterion.
+func ExampleFitArrivals() {
+	ref := trace.ProductionInference().Reference(24*time.Hour, rand.New(rand.NewSource(1)))
+	shape := trace.ClusterShape{
+		Servers:          40,
+		ProvisionedWatts: 40 * 4600,
+		IdleServerWatts:  1516,
+		BusyServerWatts:  3949,
+		MeanServiceSec:   28.5,
+	}
+	plan, err := trace.FitArrivals(ref, shape, 5*time.Minute)
+	if err != nil {
+		fmt.Println("fit failed:", err)
+		return
+	}
+	mape, _ := trace.ValidateFit(ref, plan, shape)
+	fmt.Printf("plan buckets: %d\n", len(plan.Rates))
+	fmt.Printf("fit within the paper's 3%% bar: %v\n", mape <= 0.03)
+	// Output:
+	// plan buckets: 288
+	// fit within the paper's 3% bar: true
+}
+
+// ExampleRatePlan_Scale shows how oversubscription scales the offered load:
+// 30% more servers absorb 30% more traffic under the same power budget.
+func ExampleRatePlan_Scale() {
+	plan := trace.RatePlan{Bucket: time.Minute, Rates: []float64{1.0, 2.0}}
+	scaled := plan.Scale(1.30)
+	fmt.Printf("%.1f %.1f\n", scaled.Rates[0], scaled.Rates[1])
+	// Output:
+	// 1.3 2.6
+}

@@ -1,0 +1,196 @@
+// Package workload models the inference traffic POLCA is evaluated on
+// (paper Table 6): three BLOOM-176B workload classes — Summarize, Search,
+// and Chat — with their prompt/output size ranges, cluster shares, and
+// priorities, plus the request type and samplers that draw concrete
+// requests from seeded randomness.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Priority is a workload priority level. POLCA reclaims power from low
+// priority workloads first.
+type Priority int
+
+const (
+	Low Priority = iota
+	High
+)
+
+// String returns "low" or "high".
+func (p Priority) String() string {
+	if p == Low {
+		return "low"
+	}
+	return "high"
+}
+
+// Class describes one workload class (a row of Table 6). Token counts are
+// sampled uniformly from the inclusive ranges.
+type Class struct {
+	Name      string
+	PromptMin int
+	PromptMax int
+	OutputMin int
+	OutputMax int
+	// Share is the fraction of cluster requests in this class.
+	Share float64
+	// LowShare is the fraction of this class's requests that run at low
+	// priority (1 = always low, 0 = always high, 0.5 = the paper's Chat).
+	LowShare float64
+}
+
+// Table6 returns the paper's workload distribution.
+func Table6() []Class {
+	return []Class{
+		{Name: "summarize", PromptMin: 2048, PromptMax: 8192, OutputMin: 256, OutputMax: 512, Share: 0.25, LowShare: 1},
+		{Name: "search", PromptMin: 512, PromptMax: 2048, OutputMin: 1024, OutputMax: 2048, Share: 0.25, LowShare: 0},
+		{Name: "chat", PromptMin: 2048, PromptMax: 4096, OutputMin: 128, OutputMax: 2048, Share: 0.5, LowShare: 0.5},
+	}
+}
+
+// SLO is a latency-impact service level objective (Table 6): percentile
+// latency under POLCA may exceed the uncapped baseline by at most the given
+// fractions.
+type SLO struct {
+	P50Impact float64
+	P99Impact float64
+}
+
+// SLOs returns the paper's per-priority SLOs: high priority tolerates <1%
+// p50 and <5% p99 impact; low priority <5% and <50%.
+func SLOs() map[Priority]SLO {
+	return map[Priority]SLO{
+		High: {P50Impact: 0.01, P99Impact: 0.05},
+		Low:  {P50Impact: 0.05, P99Impact: 0.50},
+	}
+}
+
+// Request is one inference request.
+type Request struct {
+	ID       int64
+	Class    string
+	Priority Priority
+	Arrival  time.Duration // virtual time of arrival
+	Input    int           // prompt tokens
+	Output   int           // tokens to generate
+}
+
+// Validate reports whether the class table is internally consistent.
+func Validate(classes []Class) error {
+	var share float64
+	for _, c := range classes {
+		switch {
+		case c.Name == "":
+			return fmt.Errorf("workload: unnamed class")
+		case c.PromptMin <= 0 || c.PromptMax < c.PromptMin:
+			return fmt.Errorf("workload: %s: bad prompt range", c.Name)
+		case c.OutputMin < 0 || c.OutputMax < c.OutputMin:
+			return fmt.Errorf("workload: %s: bad output range", c.Name)
+		case c.Share < 0 || c.Share > 1:
+			return fmt.Errorf("workload: %s: bad share", c.Name)
+		case c.LowShare < 0 || c.LowShare > 1:
+			return fmt.Errorf("workload: %s: bad low-priority share", c.Name)
+		}
+		share += c.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		return fmt.Errorf("workload: shares sum to %v, want 1", share)
+	}
+	return nil
+}
+
+// Sampler draws requests from a class mix using a seeded random stream.
+// It is not safe for concurrent use.
+type Sampler struct {
+	classes []Class
+	rng     *rand.Rand
+	nextID  int64
+}
+
+// NewSampler returns a sampler over the classes. It panics if the classes
+// fail Validate.
+func NewSampler(classes []Class, rng *rand.Rand) *Sampler {
+	if err := Validate(classes); err != nil {
+		panic(err)
+	}
+	cp := make([]Class, len(classes))
+	copy(cp, classes)
+	return &Sampler{classes: cp, rng: rng}
+}
+
+// Sample draws one request arriving at the given time, from the full mix.
+func (s *Sampler) Sample(arrival time.Duration) Request {
+	return s.sample(arrival, func(c Class) float64 { return c.Share })
+}
+
+// SampleWithPriority draws one request of the given priority: the class is
+// chosen with probability proportional to the share of the cluster's
+// traffic that the class contributes *at that priority* (e.g. at low
+// priority, Summarize and Chat contribute 25% each, so they are drawn
+// 50:50).
+func (s *Sampler) SampleWithPriority(arrival time.Duration, p Priority) Request {
+	r := s.sample(arrival, func(c Class) float64 {
+		if p == Low {
+			return c.Share * c.LowShare
+		}
+		return c.Share * (1 - c.LowShare)
+	})
+	r.Priority = p
+	return r
+}
+
+func (s *Sampler) sample(arrival time.Duration, weight func(Class) float64) Request {
+	var total float64
+	for _, c := range s.classes {
+		total += weight(c)
+	}
+	x := s.rng.Float64() * total
+	var chosen Class
+	for _, c := range s.classes {
+		w := weight(c)
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			chosen = c
+			break
+		}
+		x -= w
+		chosen = c // fall back to last eligible on FP residue
+	}
+	s.nextID++
+	pr := Low
+	if s.rng.Float64() >= chosen.LowShare {
+		pr = High
+	}
+	return Request{
+		ID:       s.nextID,
+		Class:    chosen.Name,
+		Priority: pr,
+		Arrival:  arrival,
+		Input:    s.uniformInt(chosen.PromptMin, chosen.PromptMax),
+		Output:   s.uniformInt(chosen.OutputMin, chosen.OutputMax),
+	}
+}
+
+// uniformInt draws uniformly from [lo, hi].
+func (s *Sampler) uniformInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.rng.Intn(hi-lo+1)
+}
+
+// MeanTokens returns the expected prompt and output token counts of the
+// mix, used for service-time estimation when fitting traces.
+func MeanTokens(classes []Class) (prompt, output float64) {
+	for _, c := range classes {
+		prompt += c.Share * float64(c.PromptMin+c.PromptMax) / 2
+		output += c.Share * float64(c.OutputMin+c.OutputMax) / 2
+	}
+	return prompt, output
+}

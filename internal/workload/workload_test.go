@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestTable6MatchesPaper(t *testing.T) {
+	classes := Table6()
+	if err := Validate(classes); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Class{}
+	for _, c := range classes {
+		byName[c.Name] = c
+	}
+	sum := byName["summarize"]
+	if sum.PromptMin != 2048 || sum.PromptMax != 8192 || sum.OutputMin != 256 || sum.OutputMax != 512 {
+		t.Errorf("summarize ranges = %+v", sum)
+	}
+	if sum.Share != 0.25 || sum.LowShare != 1 {
+		t.Errorf("summarize share/priority = %+v, want 25%% low", sum)
+	}
+	sea := byName["search"]
+	if sea.PromptMin != 512 || sea.PromptMax != 2048 || sea.OutputMin != 1024 || sea.OutputMax != 2048 {
+		t.Errorf("search ranges = %+v", sea)
+	}
+	if sea.Share != 0.25 || sea.LowShare != 0 {
+		t.Errorf("search share/priority = %+v, want 25%% high", sea)
+	}
+	chat := byName["chat"]
+	if chat.Share != 0.5 || chat.LowShare != 0.5 {
+		t.Errorf("chat share/priority = %+v, want 50%% at 50:50", chat)
+	}
+}
+
+func TestSLOsMatchTable6(t *testing.T) {
+	slos := SLOs()
+	if slos[High].P50Impact != 0.01 || slos[High].P99Impact != 0.05 {
+		t.Errorf("high SLO = %+v", slos[High])
+	}
+	if slos[Low].P50Impact != 0.05 || slos[Low].P99Impact != 0.50 {
+		t.Errorf("low SLO = %+v", slos[Low])
+	}
+}
+
+func TestValidateRejectsBadTables(t *testing.T) {
+	bad := [][]Class{
+		{{Name: "", PromptMin: 1, PromptMax: 2, Share: 1}},
+		{{Name: "x", PromptMin: 0, PromptMax: 2, Share: 1}},
+		{{Name: "x", PromptMin: 2, PromptMax: 1, Share: 1}},
+		{{Name: "x", PromptMin: 1, PromptMax: 2, OutputMin: 5, OutputMax: 1, Share: 1}},
+		{{Name: "x", PromptMin: 1, PromptMax: 2, Share: 0.5}},
+		{{Name: "x", PromptMin: 1, PromptMax: 2, Share: 1, LowShare: 2}},
+	}
+	for i, cs := range bad {
+		if Validate(cs) == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	s := NewSampler(Table6(), rand.New(rand.NewSource(5)))
+	counts := map[string]int{}
+	prio := map[Priority]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		r := s.Sample(0)
+		counts[r.Class]++
+		prio[r.Priority]++
+		if r.Input < 512 || r.Input > 8192 {
+			t.Fatalf("input %d out of any class range", r.Input)
+		}
+		if r.Output < 128 || r.Output > 2048 {
+			t.Fatalf("output %d out of any class range", r.Output)
+		}
+	}
+	within := func(got int, want, tol float64) bool {
+		f := float64(got) / n
+		return f > want-tol && f < want+tol
+	}
+	if !within(counts["summarize"], 0.25, 0.02) || !within(counts["search"], 0.25, 0.02) || !within(counts["chat"], 0.5, 0.02) {
+		t.Errorf("class mix = %v", counts)
+	}
+	// Low = summarize (25%) + half of chat (25%) = 50%.
+	if !within(prio[Low], 0.5, 0.02) {
+		t.Errorf("priority mix = %v", prio)
+	}
+}
+
+func TestSampleWithPriority(t *testing.T) {
+	s := NewSampler(Table6(), rand.New(rand.NewSource(6)))
+	for i := 0; i < 2000; i++ {
+		r := s.SampleWithPriority(0, Low)
+		if r.Priority != Low {
+			t.Fatal("priority not forced")
+		}
+		if r.Class == "search" {
+			t.Fatal("search can never be low priority")
+		}
+		r = s.SampleWithPriority(0, High)
+		if r.Priority != High {
+			t.Fatal("priority not forced")
+		}
+		if r.Class == "summarize" {
+			t.Fatal("summarize can never be high priority")
+		}
+	}
+}
+
+func TestSamplerRangesRespectClass(t *testing.T) {
+	s := NewSampler(Table6(), rand.New(rand.NewSource(7)))
+	ranges := map[string][4]int{
+		"summarize": {2048, 8192, 256, 512},
+		"search":    {512, 2048, 1024, 2048},
+		"chat":      {2048, 4096, 128, 2048},
+	}
+	for i := 0; i < 5000; i++ {
+		r := s.Sample(time.Duration(i))
+		w := ranges[r.Class]
+		if r.Input < w[0] || r.Input > w[1] || r.Output < w[2] || r.Output > w[3] {
+			t.Fatalf("%s sizes %d/%d outside %v", r.Class, r.Input, r.Output, w)
+		}
+		if r.Arrival != time.Duration(i) {
+			t.Fatal("arrival not recorded")
+		}
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	a := NewSampler(Table6(), rand.New(rand.NewSource(9)))
+	b := NewSampler(Table6(), rand.New(rand.NewSource(9)))
+	for i := 0; i < 100; i++ {
+		ra, rb := a.Sample(0), b.Sample(0)
+		if ra != rb {
+			t.Fatal("samplers with equal seeds diverged")
+		}
+	}
+}
+
+func TestSamplerUniqueIDs(t *testing.T) {
+	s := NewSampler(Table6(), rand.New(rand.NewSource(10)))
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		r := s.Sample(0)
+		if seen[r.ID] {
+			t.Fatal("duplicate request ID")
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestMeanTokens(t *testing.T) {
+	p, o := MeanTokens(Table6())
+	// summarize (2048+8192)/2*0.25 + search (512+2048)/2*0.25 + chat (2048+4096)/2*0.5
+	wantP := 5120*0.25 + 1280*0.25 + 3072*0.5
+	wantO := 384*0.25 + 1536*0.25 + 1088*0.5
+	if p != wantP || o != wantO {
+		t.Errorf("MeanTokens = %v, %v; want %v, %v", p, o, wantP, wantO)
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	if Low.String() != "low" || High.String() != "high" {
+		t.Error("priority strings wrong")
+	}
+}
+
+func TestNewSamplerPanicsOnBadTable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewSampler([]Class{{Name: "x", PromptMin: 1, PromptMax: 2, Share: 0.1}}, rand.New(rand.NewSource(1)))
+}
