@@ -1,0 +1,30 @@
+GO ?= go
+
+# ci is the tier-1 gate: static checks, a full build, the race-enabled test
+# suite (which exercises the parallel sweep executor), and a short substrate
+# benchmark smoke.
+.PHONY: ci
+ci: vet build test bench-smoke
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test -race -timeout 45m ./...
+
+# bench-smoke runs the engine micro-benchmarks briefly — enough to catch an
+# allocation regression on the event path without paying for a full run.
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test -run '^$$' -bench Engine -benchmem -benchtime 200000x .
+
+# bench runs every benchmark, including full artifact regeneration.
+.PHONY: bench
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -84,6 +84,55 @@ func BenchmarkEngineEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkQueuePushPop measures heap insert+extract throughput with
+// batches of out-of-order events (the queue's steady-state access pattern).
+func BenchmarkQueuePushPop(b *testing.B) {
+	eng := sim.New(1)
+	nop := func(sim.Time) {}
+	const batch = 512
+	var x uint32 = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		for k := 0; k < batch; k++ {
+			x = x*1664525 + 1013904223 // cheap LCG for scattered offsets
+			eng.After(time.Duration(x%1000)*time.Millisecond, nop)
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkTimerStop measures the schedule-then-cancel cycle that dominates
+// the cluster simulator's phase replanning. Canceled events must not
+// accumulate: the engine compacts tombstones, so memory stays bounded no
+// matter how many timers a six-week run starts and stops.
+func BenchmarkTimerStop(b *testing.B) {
+	eng := sim.New(1)
+	nop := func(sim.Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := eng.AfterCancelable(time.Hour, nop)
+		t.Stop()
+	}
+	if eng.Pending() != 0 {
+		b.Fatalf("Pending = %d after stopping every timer, want 0", eng.Pending())
+	}
+}
+
+// BenchmarkRand measures named-stream derivation (one per subsystem per
+// simulation).
+func BenchmarkRand(b *testing.B) {
+	eng := sim.New(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eng.Rand("arrivals") == nil {
+			b.Fatal("nil stream")
+		}
+	}
+}
+
 // BenchmarkGPUPhase measures the analytical GPU model.
 func BenchmarkGPUPhase(b *testing.B) {
 	dev := gpu.NewDevice(gpu.A100SXM80GB())

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	polca-experiments [-quick] [-seed N] [-eval-days N] [-sweep-days N]
-//	                  [-servers N] [-only id1,id2] [-list]
+//	                  [-servers N] [-parallel N] [-only id1,id2] [-list]
 //
 // Without -only it runs every registered experiment in paper order and
 // prints the reproduced rows. -quick scales horizons down for a fast pass.
@@ -27,6 +27,7 @@ func main() {
 	evalDays := flag.Int("eval-days", 0, "evaluation horizon in days (default 35, paper's five weeks)")
 	sweepDays := flag.Int("sweep-days", 0, "sweep horizon in days (default 7, paper's one week)")
 	servers := flag.Int("servers", 0, "base row size (default 40)")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations/experiments (0 = GOMAXPROCS, 1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	checkInsights := flag.Bool("insights", false, "verify the paper's nine insights and exit")
@@ -68,6 +69,7 @@ func main() {
 	if *servers > 0 {
 		opts.RowServers = *servers
 	}
+	opts.Parallel = *parallel
 
 	if *only == "" {
 		results, err := experiments.RunAll(opts, os.Stdout)

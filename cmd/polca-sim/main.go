@@ -1,14 +1,19 @@
-// Command polca-sim runs one inference-row power-oversubscription
-// simulation and reports utilization, latency, throughput, and power-brake
-// outcomes.
+// Command polca-sim runs inference-row power-oversubscription simulations
+// and reports utilization, latency, throughput, and power-brake outcomes.
 //
 // Usage:
 //
 //	polca-sim [-policy polca|1tl|1ta|nocap] [-added 0.30] [-days 7]
 //	          [-servers 40] [-intensity 1.0] [-lp 0.5] [-seed 1]
-//	          [-t1 0.80] [-t2 0.89] [-csv out.csv]
+//	          [-t1 0.80] [-t2 0.89] [-csv out.csv] [-parallel N]
 //
-// The -csv flag additionally writes the 2 s row-utilization series.
+// -policy accepts a comma-separated list (e.g. "polca,nocap"); the
+// simulations then run concurrently, bounded by -parallel workers, and the
+// reports print in the order the policies were listed. Every run owns a
+// private engine seeded from -seed, so results are identical to running the
+// policies one at a time. The -csv flag additionally writes the 2 s
+// row-utilization series (suffixed with the policy name when several are
+// simulated).
 package main
 
 import (
@@ -16,6 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"polca/internal/cluster"
@@ -26,8 +35,20 @@ import (
 	"polca/internal/workload"
 )
 
+// runOpts carries everything one policy simulation needs.
+type runOpts struct {
+	policy  string
+	cfg     cluster.RowConfig
+	days    int
+	seed    int64
+	t1, t2  float64
+	retrain bool
+	reqs    []workload.Request // non-nil replays a recorded trace
+	csvPath string
+}
+
 func main() {
-	policy := flag.String("policy", "polca", "power policy: polca, 1tl, 1ta, nocap")
+	policy := flag.String("policy", "polca", "power policy (comma-separated list of polca, 1tl, 1ta, nocap)")
 	added := flag.Float64("added", 0.30, "oversubscription fraction (0.30 = 30% more servers)")
 	days := flag.Int("days", 7, "simulated days")
 	servers := flag.Int("servers", 40, "base row size")
@@ -39,6 +60,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write the utilization series to this CSV file")
 	retrain := flag.Bool("retrain", false, "print a threshold retraining recommendation after the run")
 	replay := flag.String("replay", "", "replay a request trace CSV (from polca-trace -requests) instead of generating arrivals")
+	parallel := flag.Int("parallel", 0, "max concurrent policy simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := cluster.Production()
@@ -48,11 +70,89 @@ func main() {
 	cfg.LowPriorityFraction = *lpFrac
 	cfg.Seed = *seed
 
+	policies := strings.Split(*policy, ",")
+	for i, p := range policies {
+		policies[i] = strings.TrimSpace(p)
+	}
+
+	var reqs []workload.Request
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		reqs, err = cluster.LoadRequestsCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(policies) {
+		workers = len(policies)
+	}
+
+	reports := make([]string, len(policies))
+	errs := make([]error, len(policies))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, p := range policies {
+		opts := runOpts{
+			policy: p, cfg: cfg, days: *days, seed: *seed,
+			t1: *t1, t2: *t2, retrain: *retrain, reqs: reqs,
+			csvPath: policyCSVPath(*csvPath, p, len(policies) > 1),
+		}
+		wg.Add(1)
+		go func(i int, opts runOpts) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reports[i], errs[i] = runOne(opts)
+		}(i, opts)
+	}
+	wg.Wait()
+
+	failed := false
+	for i := range policies {
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, "error:", errs[i])
+			failed = true
+			continue
+		}
+		if i > 0 {
+			fmt.Println(strings.Repeat("-", 72))
+		}
+		fmt.Print(reports[i])
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// policyCSVPath derives a per-policy CSV path when several policies share
+// one -csv flag, so concurrent runs don't clobber each other's series.
+func policyCSVPath(base, policy string, multi bool) string {
+	if base == "" || !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + policy + ext
+}
+
+// runOne simulates a single policy on a private engine and renders its
+// report.
+func runOne(o runOpts) (string, error) {
 	var ctrl cluster.Controller
-	switch *policy {
+	switch o.policy {
 	case "polca":
 		pc := polca.DefaultConfig()
-		pc.T1, pc.T2 = *t1, *t2
+		pc.T1, pc.T2 = o.t1, o.t2
 		ctrl = polca.New(pc)
 	case "1tl":
 		ctrl = polca.NewSingleThresholdLowPri()
@@ -61,77 +161,66 @@ func main() {
 	case "nocap":
 		ctrl = polca.NoCap{}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-		os.Exit(2)
+		return "", fmt.Errorf("unknown policy %q", o.policy)
 	}
 
+	cfg := o.cfg
 	fitCfg := cfg
 	fitCfg.PowerIntensity = 1
-	horizon := time.Duration(*days) * 24 * time.Hour
-	eng := sim.New(*seed)
+	horizon := time.Duration(o.days) * 24 * time.Hour
+	eng := sim.New(o.seed)
 
-	fmt.Printf("Simulating %d days: %d servers (%d base, +%.0f%%), policy %s, intensity %.2f\n",
-		*days, cfg.Servers(), cfg.BaseServers, *added*100, ctrl.Name(), *intensity)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulating %d days: %d servers (%d base, +%.0f%%), policy %s, intensity %.2f\n",
+		o.days, cfg.Servers(), cfg.BaseServers, cfg.AddedFraction*100, ctrl.Name(), cfg.PowerIntensity)
 	start := time.Now()
 	row := cluster.NewRow(eng, cfg, ctrl)
 	var m *cluster.Metrics
-	if *replay != "" {
-		f, err := os.Open(*replay)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "replay:", err)
-			os.Exit(1)
-		}
-		reqs, err := cluster.LoadRequestsCSV(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "replay:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("Replaying %d requests from %s\n", len(reqs), *replay)
-		m = row.RunRequests(reqs, horizon)
+	if o.reqs != nil {
+		fmt.Fprintf(&b, "Replaying %d requests\n", len(o.reqs))
+		m = row.RunRequests(o.reqs, horizon)
 	} else {
 		ref := trace.ProductionInference().Reference(horizon, eng.Rand("reference"))
 		plan, err := trace.FitArrivals(ref, fitCfg.Shape(), 5*time.Minute)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return "", err
 		}
-		m = row.Run(plan.Scale(1 + *added))
+		m = row.Run(plan.Scale(1 + cfg.AddedFraction))
 	}
-	fmt.Printf("Done in %.1fs (%d requests served)\n\n", time.Since(start).Seconds(),
+	fmt.Fprintf(&b, "Done in %.1fs (%d requests served)\n\n", time.Since(start).Seconds(),
 		m.Completed[workload.Low]+m.Completed[workload.High])
 
-	fmt.Printf("Row budget: %.0f kW (provisioned for %d servers)\n", m.Provisioned/1000, cfg.BaseServers)
-	fmt.Printf("Utilization: mean %.1f%%, peak %.1f%%, max 2s rise %.1f%%, max 40s rise %.1f%%\n",
+	fmt.Fprintf(&b, "Row budget: %.0f kW (provisioned for %d servers)\n", m.Provisioned/1000, cfg.BaseServers)
+	fmt.Fprintf(&b, "Utilization: mean %.1f%%, peak %.1f%%, max 2s rise %.1f%%, max 40s rise %.1f%%\n",
 		m.Util.Mean()*100, m.Util.Peak()*100,
 		m.Util.MaxRise(2*time.Second)*100, m.Util.MaxRise(40*time.Second)*100)
-	fmt.Printf("Power brakes: %d; OOB commands: %d (%d silent failures)\n\n",
+	fmt.Fprintf(&b, "Power brakes: %d; OOB commands: %d (%d silent failures)\n\n",
 		m.BrakeEvents, m.LockCommands, m.FailedCommands)
 
-	fmt.Printf("%-10s %10s %10s %10s %10s %10s %10s\n", "Priority", "served", "dropped", "p50 (s)", "p99 (s)", "max (s)", "req/srv/h")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n", "Priority", "served", "dropped", "p50 (s)", "p99 (s)", "max (s)", "req/srv/h")
 	for _, pri := range []workload.Priority{workload.Low, workload.High} {
 		lat := m.LatencySec[pri]
 		poolN := row.PoolSize(pri)
-		fmt.Printf("%-10s %10d %10d %10.1f %10.1f %10.1f %10.1f\n",
+		fmt.Fprintf(&b, "%-10s %10d %10d %10.1f %10.1f %10.1f %10.1f\n",
 			pri, m.Completed[pri], m.Dropped[pri],
 			stats.Percentile(lat, 50), stats.Percentile(lat, 99), stats.Percentile(lat, 100),
 			m.Throughput(pri, poolN)*3600)
 	}
 
-	if *retrain {
+	if o.retrain {
 		base := polca.DefaultConfig()
-		base.T1, base.T2 = *t1, *t2
+		base.T1, base.T2 = o.t1, o.t2
 		rec := polca.RetrainFromMetrics(base, m)
-		fmt.Printf("\nThreshold retraining (from this run's power trace and capping history):\n%s", rec.Describe())
+		fmt.Fprintf(&b, "\nThreshold retraining (from this run's power trace and capping history):\n%s", rec.Describe())
 	}
 
-	if *csvPath != "" {
-		if err := writeCSV(*csvPath, m.Util); err != nil {
-			fmt.Fprintln(os.Stderr, "csv:", err)
-			os.Exit(1)
+	if o.csvPath != "" {
+		if err := writeCSV(o.csvPath, m.Util); err != nil {
+			return "", fmt.Errorf("csv: %w", err)
 		}
-		fmt.Printf("\nUtilization series written to %s\n", *csvPath)
+		fmt.Fprintf(&b, "\nUtilization series written to %s\n", o.csvPath)
 	}
+	return b.String(), nil
 }
 
 func writeCSV(path string, s stats.Series) error {

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"polca/internal/cluster"
@@ -38,11 +37,6 @@ type rowSpec struct {
 	t1, t2    float64 // 0 = policy default
 }
 
-var (
-	evalMu    sync.Mutex
-	evalCache = map[string]*cluster.Metrics{}
-)
-
 // buildController instantiates the policy named in the spec.
 func buildController(s rowSpec) cluster.Controller {
 	switch s.policy {
@@ -76,16 +70,9 @@ func buildController(s rowSpec) cluster.Controller {
 	panic("experiments: unknown policy " + s.policy)
 }
 
-// simulateRow runs (or returns the cached result of) one row simulation.
-func simulateRow(o Options, s rowSpec) (*cluster.Metrics, error) {
-	key := fmt.Sprintf("%d/%d/%+v", o.Seed, o.RowServers, s)
-	evalMu.Lock()
-	if m, ok := evalCache[key]; ok {
-		evalMu.Unlock()
-		return m, nil
-	}
-	evalMu.Unlock()
-
+// runRowSpec executes one row simulation on a private engine; simulateRow
+// (parallel.go) wraps it with the singleflight cache.
+func runRowSpec(o Options, s rowSpec) (*cluster.Metrics, error) {
 	cfg := cluster.Production()
 	cfg.BaseServers = o.RowServers
 	cfg.AddedFraction = s.added
@@ -108,12 +95,7 @@ func simulateRow(o Options, s rowSpec) (*cluster.Metrics, error) {
 
 	eng := sim.New(o.Seed)
 	row := cluster.NewRow(eng, cfg, buildController(s))
-	m := row.Run(plan)
-
-	evalMu.Lock()
-	evalCache[key] = m
-	evalMu.Unlock()
-	return m, nil
+	return row.Run(plan), nil
 }
 
 // latp returns the given percentile of the run's latencies for a priority.
@@ -237,14 +219,21 @@ func runFig13(o Options) (Result, error) {
 	if o.Quick {
 		added = []float64{0, 0.30}
 	}
-	data := Fig13Data{MaxSafeAdded: map[string]float64{}}
+	specs := make([]rowSpec, 0, len(combos)*len(added))
 	for _, c := range combos {
-		var base *cluster.Metrics
 		for _, a := range added {
-			m, err := simulateRow(o, rowSpec{policy: "polca", t1: c[0], t2: c[1], added: a, intensity: 1, days: o.SweepDays})
-			if err != nil {
-				return Result{}, err
-			}
+			specs = append(specs, rowSpec{policy: "polca", t1: c[0], t2: c[1], added: a, intensity: 1, days: o.SweepDays})
+		}
+	}
+	ms, err := simulateRows(o, specs)
+	if err != nil {
+		return Result{}, err
+	}
+	data := Fig13Data{MaxSafeAdded: map[string]float64{}}
+	for ci, c := range combos {
+		var base *cluster.Metrics
+		for ai, a := range added {
+			m := ms[ci*len(added)+ai]
 			if a == 0 {
 				base = m
 			}
@@ -296,13 +285,18 @@ func runFig14(o Options) (Result, error) {
 	if o.Quick {
 		added = []float64{0, 0.30}
 	}
+	specs := make([]rowSpec, 0, len(added))
+	for _, a := range added {
+		specs = append(specs, rowSpec{policy: "polca", added: a, intensity: 1, days: o.SweepDays})
+	}
+	ms, err := simulateRows(o, specs)
+	if err != nil {
+		return Result{}, err
+	}
 	var pts []Fig14Point
 	var basePerServer map[workload.Priority]float64
-	for _, a := range added {
-		m, err := simulateRow(o, rowSpec{policy: "polca", added: a, intensity: 1, days: o.SweepDays})
-		if err != nil {
-			return Result{}, err
-		}
+	for i, a := range added {
+		m := ms[i]
 		perServer := map[workload.Priority]float64{}
 		lp := m.Config.LowPriorityFraction
 		total := m.Config.Servers()
@@ -346,16 +340,18 @@ func runFig15a(o Options) (Result, error) {
 	if o.Quick {
 		freqs = []float64{1275, 1155}
 	}
-	base, err := simulateRow(o, rowSpec{policy: "nocap", added: 0.30, intensity: 1, days: o.SweepDays})
+	specs := []rowSpec{{policy: "nocap", added: 0.30, intensity: 1, days: o.SweepDays}}
+	for _, f := range freqs {
+		specs = append(specs, rowSpec{policy: "polca", lpBaseMHz: f, added: 0.30, intensity: 1, days: o.SweepDays})
+	}
+	ms, err := simulateRows(o, specs)
 	if err != nil {
 		return Result{}, err
 	}
+	base := ms[0]
 	var pts []Fig15aPoint
-	for _, f := range freqs {
-		m, err := simulateRow(o, rowSpec{policy: "polca", lpBaseMHz: f, added: 0.30, intensity: 1, days: o.SweepDays})
-		if err != nil {
-			return Result{}, err
-		}
+	for i, f := range freqs {
+		m := ms[i+1]
 		pt := Fig15aPoint{LPBaseMHz: f, NormP50: map[workload.Priority]float64{}, NormP99: map[workload.Priority]float64{}}
 		for _, pri := range []workload.Priority{workload.Low, workload.High} {
 			pt.NormP50[pri] = latp(m, pri, 50) / latp(base, pri, 50)
@@ -392,16 +388,19 @@ func runFig15b(o Options) (Result, error) {
 	if o.Quick {
 		fracs = []float64{0.25, 0.75}
 	}
-	var pts []Fig15bPoint
+	specs := make([]rowSpec, 0, 2*len(fracs))
 	for _, lp := range fracs {
-		base, err := simulateRow(o, rowSpec{policy: "polca", added: 0, intensity: 1, lpFrac: lp, days: o.SweepDays})
-		if err != nil {
-			return Result{}, err
-		}
-		m, err := simulateRow(o, rowSpec{policy: "polca", added: 0.30, intensity: 1, lpFrac: lp, days: o.SweepDays})
-		if err != nil {
-			return Result{}, err
-		}
+		specs = append(specs,
+			rowSpec{policy: "polca", added: 0, intensity: 1, lpFrac: lp, days: o.SweepDays},
+			rowSpec{policy: "polca", added: 0.30, intensity: 1, lpFrac: lp, days: o.SweepDays})
+	}
+	ms, err := simulateRows(o, specs)
+	if err != nil {
+		return Result{}, err
+	}
+	var pts []Fig15bPoint
+	for i, lp := range fracs {
+		base, m := ms[2*i], ms[2*i+1]
 		pt := Fig15bPoint{LPFraction: lp, Brakes: m.BrakeEvents, NormP50: map[workload.Priority]float64{}, NormP99: map[workload.Priority]float64{}}
 		for _, pri := range []workload.Priority{workload.Low, workload.High} {
 			pt.NormP50[pri] = latp(m, pri, 50) / latp(base, pri, 50)
@@ -439,14 +438,14 @@ type Fig16Data struct {
 }
 
 func runFig16(o Options) (Result, error) {
-	base, err := simulateRow(o, rowSpec{policy: "polca", added: 0, intensity: 1, days: o.EvalDays})
+	ms, err := simulateRows(o, []rowSpec{
+		{policy: "polca", added: 0, intensity: 1, days: o.EvalDays},
+		{policy: "polca", added: 0.30, intensity: 1, days: o.EvalDays},
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	over, err := simulateRow(o, rowSpec{policy: "polca", added: 0.30, intensity: 1, days: o.EvalDays})
-	if err != nil {
-		return Result{}, err
-	}
+	base, over := ms[0], ms[1]
 	data := Fig16Data{
 		Default:       base.Util.Downsample(time.Minute),
 		Oversub:       over.Util.Downsample(time.Minute),
@@ -496,14 +495,21 @@ func fig17Rows(o Options) ([]Fig17Row, error) {
 	policies := []string{"polca", "1tl", "1ta", "nocap"}
 	names := map[string]string{"polca": "POLCA", "1tl": "1-Thresh-Low-Pri", "1ta": "1-Thresh-All", "nocap": "No-cap"}
 	intensities := []float64{1.0, 1.05}
-	var ref *cluster.Metrics
-	var rows []Fig17Row
+	specs := make([]rowSpec, 0, len(intensities)*len(policies))
 	for _, in := range intensities {
 		for _, p := range policies {
-			m, err := simulateRow(o, rowSpec{policy: p, added: 0.30, intensity: in, days: o.EvalDays})
-			if err != nil {
-				return nil, err
-			}
+			specs = append(specs, rowSpec{policy: p, added: 0.30, intensity: in, days: o.EvalDays})
+		}
+	}
+	ms, err := simulateRows(o, specs)
+	if err != nil {
+		return nil, err
+	}
+	var ref *cluster.Metrics
+	var rows []Fig17Row
+	for ii, in := range intensities {
+		for pi, p := range policies {
+			m := ms[ii*len(policies)+pi]
 			if p == "polca" && in == 1.0 {
 				ref = m
 			}

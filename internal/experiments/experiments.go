@@ -9,9 +9,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
-	"time"
 )
 
 // Options scales experiments between quick smoke runs and full,
@@ -29,6 +29,12 @@ type Options struct {
 	RowServers int
 	// Quick reduces sweep densities and horizons for tests.
 	Quick bool
+	// Parallel bounds how many simulations (and, in RunAll, experiments)
+	// run concurrently. 0 means GOMAXPROCS; 1 forces the serial path.
+	// Results are identical at any setting: every simulation owns a private
+	// sim.Engine seeded from Seed, and sweeps assemble their outputs in
+	// spec order.
+	Parallel int
 }
 
 // DefaultOptions mirrors the paper's evaluation scale.
@@ -60,6 +66,14 @@ func (o Options) normalize() Options {
 		o.RowServers = d.RowServers
 	}
 	return o
+}
+
+// workers resolves Parallel to a concrete worker count.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result is one reproduced artifact.
@@ -128,18 +142,46 @@ func Run(id string, o Options) (Result, error) {
 }
 
 // RunAll executes every registered experiment, streaming rendered results
-// to w, and returns the structured results.
+// to w in registration (paper) order, and returns the structured results.
+//
+// Experiments run concurrently, bounded by o.Parallel workers; artifacts
+// that share row simulations (fig17/fig18) deduplicate through the
+// singleflight simulation cache, so no spec is simulated twice. The stream
+// and the returned results are byte-identical to a serial run. On error the
+// results completed before the failing artifact are returned; experiments
+// already in flight finish in the background.
 func RunAll(o Options, w io.Writer) ([]Result, error) {
+	o = o.normalize()
+	workers := o.workers()
+	if workers > len(registry) {
+		workers = len(registry)
+	}
+	type slot struct {
+		res  Result
+		err  error
+		done chan struct{}
+	}
+	slots := make([]*slot, len(registry))
+	sem := make(chan struct{}, workers)
+	for i := range registry {
+		s := &slot{done: make(chan struct{})}
+		slots[i] = s
+		go func(id string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s.res, s.err = Run(id, o)
+			close(s.done)
+		}(registry[i].id)
+	}
 	var out []Result
-	for _, e := range registry {
-		start := time.Now()
-		res, err := Run(e.id, o)
-		if err != nil {
-			return out, err
+	for _, s := range slots {
+		<-s.done
+		if s.err != nil {
+			return out, s.err
 		}
-		out = append(out, res)
+		out = append(out, s.res)
 		if w != nil {
-			fmt.Fprintf(w, "== %s: %s (%.1fs) ==\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
+			fmt.Fprintf(w, "== %s: %s ==\n%s\n", s.res.ID, s.res.Title, s.res.Text)
 		}
 	}
 	return out, nil

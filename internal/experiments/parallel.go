@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"polca/internal/cluster"
+)
+
+// evalCall is one in-flight or completed row simulation. Callers wait on
+// done before reading m/err, which gives the cache singleflight semantics:
+// concurrent requests for the same spec run the simulation once and share
+// the result.
+type evalCall struct {
+	done chan struct{}
+	m    *cluster.Metrics
+	err  error
+}
+
+var (
+	evalMu    sync.Mutex
+	evalCache = map[string]*evalCall{}
+)
+
+// resetEvalCache drops all cached simulations; tests use it to force a
+// cold-cache comparison between serial and parallel execution.
+func resetEvalCache() {
+	evalMu.Lock()
+	evalCache = map[string]*evalCall{}
+	evalMu.Unlock()
+}
+
+// simulateRow runs (or returns the cached result of) one row simulation.
+// Concurrent callers with the same spec block on the first caller's run.
+func simulateRow(o Options, s rowSpec) (*cluster.Metrics, error) {
+	key := fmt.Sprintf("%d/%d/%+v", o.Seed, o.RowServers, s)
+	evalMu.Lock()
+	if c, ok := evalCache[key]; ok {
+		evalMu.Unlock()
+		<-c.done
+		return c.m, c.err
+	}
+	c := &evalCall{done: make(chan struct{})}
+	evalCache[key] = c
+	evalMu.Unlock()
+
+	c.m, c.err = runRowSpec(o, s)
+	if c.err != nil {
+		// Keep failures out of the cache so a later attempt can retry.
+		evalMu.Lock()
+		delete(evalCache, key)
+		evalMu.Unlock()
+	}
+	close(c.done)
+	return c.m, c.err
+}
+
+// simulateRows runs one simulation per spec on a worker pool bounded by
+// o.Parallel (default GOMAXPROCS) and returns metrics in spec order, so
+// sweep results are independent of completion order. Duplicate specs —
+// within the batch or across concurrently running experiments — are
+// deduplicated by simulateRow's singleflight cache.
+func simulateRows(o Options, specs []rowSpec) ([]*cluster.Metrics, error) {
+	out := make([]*cluster.Metrics, len(specs))
+	workers := o.workers()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			m, err := simulateRow(o, s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = m
+		}
+		return out, nil
+	}
+	errs := make([]error, len(specs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = simulateRow(o, specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelMatchesSerial runs sweep experiments with a cold cache on the
+// serial path and again on the worker pool, and requires byte-identical
+// renderings: every simulation owns a private engine seeded from
+// Options.Seed, so execution order must not leak into results.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, id := range []string{"fig13", "fig17"} {
+		resetEvalCache()
+		so := QuickOptions()
+		so.Parallel = 1
+		serial, err := Run(id, so)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+
+		resetEvalCache()
+		po := QuickOptions()
+		po.Parallel = 4
+		par, err := Run(id, po)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if serial.Text != par.Text {
+			t.Errorf("%s: parallel rendering differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", id, serial.Text, par.Text)
+		}
+	}
+}
+
+// TestSimulateRowsDedup hands the pool eight copies of one spec; the
+// singleflight cache must run the simulation once and share the pointer.
+func TestSimulateRowsDedup(t *testing.T) {
+	resetEvalCache()
+	o := QuickOptions().normalize()
+	o.Parallel = 8
+	spec := rowSpec{policy: "nocap", added: 0, intensity: 1, days: 1}
+	specs := make([]rowSpec, 8)
+	for i := range specs {
+		specs[i] = spec
+	}
+	ms, err := simulateRows(o, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ms {
+		if m == nil {
+			t.Fatalf("specs[%d] returned nil metrics", i)
+		}
+		if m != ms[0] {
+			t.Errorf("specs[%d] not deduplicated: distinct metrics for identical specs", i)
+		}
+	}
+}
+
+// TestRunAllParallelMatchesSerial compares the full quick suite, stream and
+// structured results, between the serial and the parallel executor.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice with a cold cache")
+	}
+	resetEvalCache()
+	so := QuickOptions()
+	so.Parallel = 1
+	var serialStream strings.Builder
+	serial, err := RunAll(so, &serialStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resetEvalCache()
+	po := QuickOptions()
+	po.Parallel = 4
+	var parStream strings.Builder
+	par, err := RunAll(po, &parStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].ID != par[i].ID {
+			t.Errorf("result %d: order differs (%s vs %s)", i, serial[i].ID, par[i].ID)
+		}
+		if serial[i].Text != par[i].Text {
+			t.Errorf("%s: parallel Result.Text differs from serial", serial[i].ID)
+		}
+	}
+	if serialStream.String() != parStream.String() {
+		t.Error("RunAll stream not byte-identical between serial and parallel")
+	}
+}

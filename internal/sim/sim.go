@@ -8,13 +8,20 @@
 // instant fire in scheduling order, and all randomness is derived from named
 // streams seeded from the engine's root seed. No wall-clock time is read
 // anywhere in the simulation.
+//
+// The event queue is a value-based 4-ary min-heap ordered by (time, seq):
+// events are plain structs stored in a reusable slice, so the steady-state
+// schedule/dispatch path performs no allocation. Cancelable timers use
+// generation-stamped slots instead of per-timer flag allocations; Timer.Stop
+// is O(1), canceled events are counted as tombstones, and the queue compacts
+// itself when tombstones outnumber live events, so a six-week simulation
+// that starts and cancels millions of phase timers stays lean.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
+	"strconv"
 	"time"
 )
 
@@ -27,52 +34,39 @@ type Time = time.Duration
 // may schedule further events.
 type Handler func(now Time)
 
-// event is an entry in the engine's queue.
+// event is an entry in the engine's queue. Events are stored by value in
+// the heap slice; noTimer marks events that cannot be canceled.
 type event struct {
-	at     Time
-	seq    uint64 // tie-break: FIFO among events at the same instant
-	fn     Handler
-	cancel *bool // non-nil when the event belongs to a cancelable timer
-	index  int
+	at    Time
+	seq   uint64 // tie-break: FIFO among events at the same instant
+	fn    Handler
+	timer int32 // slot index in Engine.timers, or noTimer
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
+const noTimer int32 = -1
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// timerSlot is the engine-side state of one cancelable timer. Slots are
+// recycled through a free list; gen distinguishes the current occupant from
+// stale Timer handles to an earlier one, which makes Stop idempotent and
+// safe after slot reuse.
+type timerSlot struct {
+	gen     uint32
+	queued  int32 // events currently in the queue referencing this slot
+	stopped bool
+	oneshot bool // AfterCancelable timers retire when their event fires
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // engines with New.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	seed    int64
-	running bool
+	now        Time
+	seq        uint64
+	queue      []event // 4-ary min-heap ordered by (at, seq)
+	timers     []timerSlot
+	freeTimers []int32
+	tombstones int // queued events whose timer has been stopped
+	seed       int64
+	running    bool
 }
 
 // New returns an Engine whose clock starts at zero and whose random streams
@@ -92,10 +86,188 @@ func (e *Engine) Seed() int64 { return e.seed }
 // Rand twice with the same name returns streams with identical sequences,
 // so callers should create each stream once and retain it.
 func (e *Engine) Rand(name string) *rand.Rand {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%s", e.seed, name)
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	// FNV-1a over the decimal seed, '/', and the name — the exact bytes the
+	// original fmt.Fprintf(h, "%d/%s", seed, name) implementation hashed,
+	// so every (seed, name) pair keeps its historical stream.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var buf [20]byte
+	h := uint64(offset64)
+	for _, c := range strconv.AppendInt(buf[:0], e.seed, 10) {
+		h = (h ^ uint64(c)) * prime64
+	}
+	h = (h ^ '/') * prime64
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	return rand.New(rand.NewSource(int64(h)))
 }
+
+// --- queue (value-based 4-ary min-heap) ---
+
+const arity = 4
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// schedule pushes an event; timer is a slot index or noTimer.
+func (e *Engine) schedule(at Time, fn Handler, timer int32) {
+	e.seq++
+	ev := event{at: at, seq: e.seq, fn: fn, timer: timer}
+	if timer != noTimer {
+		e.timers[timer].queued++
+	}
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	ev := e.queue[i]
+	for i > 0 {
+		p := (i - 1) / arity
+		if !eventLess(&ev, &e.queue[p]) {
+			break
+		}
+		e.queue[i] = e.queue[p]
+		i = p
+	}
+	e.queue[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	ev := e.queue[i]
+	for {
+		first := i*arity + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + arity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(&e.queue[c], &e.queue[min]) {
+				min = c
+			}
+		}
+		if !eventLess(&e.queue[min], &ev) {
+			break
+		}
+		e.queue[i] = e.queue[min]
+		i = min
+	}
+	e.queue[i] = ev
+}
+
+func (e *Engine) popMin() event {
+	min := e.queue[0]
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = event{} // release the handler for GC
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.queue[0] = last
+		e.siftDown(0)
+	}
+	return min
+}
+
+// settle performs the timer bookkeeping for a popped event and reports
+// whether the event is live and should be dispatched.
+func (e *Engine) settle(ev *event) bool {
+	if ev.timer == noTimer {
+		return true
+	}
+	s := &e.timers[ev.timer]
+	s.queued--
+	if s.stopped {
+		e.tombstones--
+		if s.queued == 0 {
+			e.freeTimerSlot(ev.timer)
+		}
+		return false
+	}
+	if s.oneshot {
+		// The one-shot fired: retire the slot so a later Stop is a no-op.
+		s.stopped = true
+		e.freeTimerSlot(ev.timer)
+	}
+	return true
+}
+
+// maybeCompact rebuilds the heap without its canceled events once they
+// outnumber the live ones. The floor avoids rescanning tiny queues where
+// tombstones drain naturally through dispatch.
+func (e *Engine) maybeCompact() {
+	const minTombstones = 16
+	if e.tombstones < minTombstones || e.tombstones*2 <= len(e.queue) {
+		return
+	}
+	w := 0
+	for _, ev := range e.queue {
+		if ev.timer != noTimer {
+			if s := &e.timers[ev.timer]; s.stopped {
+				s.queued--
+				if s.queued == 0 {
+					e.freeTimerSlot(ev.timer)
+				}
+				continue
+			}
+		}
+		e.queue[w] = ev
+		w++
+	}
+	for i := w; i < len(e.queue); i++ {
+		e.queue[i] = event{}
+	}
+	e.queue = e.queue[:w]
+	e.tombstones = 0
+	if w > 1 { // (w-2)/arity truncates to 0 for w < 2, which would sift an empty heap
+		for i := (w - 2) / arity; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
+}
+
+// --- timer slots ---
+
+func (e *Engine) newTimerSlot(oneshot bool) (int32, uint32) {
+	var id int32
+	if n := len(e.freeTimers); n > 0 {
+		id = e.freeTimers[n-1]
+		e.freeTimers = e.freeTimers[:n-1]
+	} else {
+		e.timers = append(e.timers, timerSlot{})
+		id = int32(len(e.timers) - 1)
+	}
+	s := &e.timers[id]
+	s.queued = 0
+	s.stopped = false
+	s.oneshot = oneshot
+	return id, s.gen
+}
+
+// freeTimerSlot recycles a slot; bumping gen invalidates outstanding Timer
+// handles and tick closures that still reference it.
+func (e *Engine) freeTimerSlot(id int32) {
+	e.timers[id].gen++
+	e.freeTimers = append(e.freeTimers, id)
+}
+
+func (e *Engine) timerActive(id int32, gen uint32) bool {
+	s := &e.timers[id]
+	return s.gen == gen && !s.stopped
+}
+
+// --- scheduling API ---
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in the
 // past (before Now) panics: it would silently reorder causality.
@@ -103,8 +275,7 @@ func (e *Engine) At(at Time, fn Handler) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.schedule(at, fn, noTimer)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -114,24 +285,36 @@ func (e *Engine) After(d time.Duration, fn Handler) {
 
 // Timer is a handle to a cancelable scheduled or repeating event.
 type Timer struct {
-	canceled *bool
+	e   *Engine
+	id  int32
+	gen uint32
 }
 
-// Stop cancels the timer. Events already dispatched are unaffected. Stop is
-// idempotent and safe on the zero Timer.
+// Stop cancels the timer in O(1). Events already dispatched are unaffected.
+// Stop is idempotent and safe on the zero Timer.
 func (t Timer) Stop() {
-	if t.canceled != nil {
-		*t.canceled = true
+	if t.e == nil {
+		return
 	}
+	s := &t.e.timers[t.id]
+	if s.gen != t.gen || s.stopped {
+		return
+	}
+	s.stopped = true
+	if s.queued == 0 {
+		t.e.freeTimerSlot(t.id)
+		return
+	}
+	t.e.tombstones += int(s.queued)
+	t.e.maybeCompact()
 }
 
 // AfterCancelable schedules fn after d and returns a Timer that can cancel
 // it before it fires.
 func (e *Engine) AfterCancelable(d time.Duration, fn Handler) Timer {
-	canceled := new(bool)
-	e.seq++
-	heap.Push(&e.queue, &event{at: e.now + d, seq: e.seq, fn: fn, cancel: canceled})
-	return Timer{canceled: canceled}
+	id, gen := e.newTimerSlot(true)
+	e.schedule(e.now+d, fn, id)
+	return Timer{e: e, id: id, gen: gen}
 }
 
 // Every schedules fn to run at now+period, then every period thereafter,
@@ -140,22 +323,7 @@ func (e *Engine) Every(period time.Duration, fn Handler) Timer {
 	if period <= 0 {
 		panic("sim: Every with non-positive period")
 	}
-	canceled := new(bool)
-	var tick Handler
-	tick = func(now Time) {
-		if *canceled {
-			return
-		}
-		fn(now)
-		if *canceled {
-			return
-		}
-		e.seq++
-		heap.Push(&e.queue, &event{at: now + period, seq: e.seq, fn: tick, cancel: canceled})
-	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: e.now + period, seq: e.seq, fn: tick, cancel: canceled})
-	return Timer{canceled: canceled}
+	return e.startRepeating(e.now+period, period, fn)
 }
 
 // EveryFrom is like Every but fires the first tick at start (an absolute
@@ -164,32 +332,34 @@ func (e *Engine) EveryFrom(start Time, period time.Duration, fn Handler) Timer {
 	if period <= 0 {
 		panic("sim: EveryFrom with non-positive period")
 	}
-	canceled := new(bool)
-	var tick Handler
-	tick = func(now Time) {
-		if *canceled {
-			return
-		}
-		fn(now)
-		if *canceled {
-			return
-		}
-		e.seq++
-		heap.Push(&e.queue, &event{at: now + period, seq: e.seq, fn: tick, cancel: canceled})
-	}
 	if start < e.now {
 		panic(fmt.Sprintf("sim: EveryFrom start %v before now %v", start, e.now))
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: start, seq: e.seq, fn: tick, cancel: canceled})
-	return Timer{canceled: canceled}
+	return e.startRepeating(start, period, fn)
 }
+
+func (e *Engine) startRepeating(first Time, period time.Duration, fn Handler) Timer {
+	id, gen := e.newTimerSlot(false)
+	var tick Handler
+	tick = func(now Time) {
+		fn(now)
+		// fn may have stopped the timer (freeing, and possibly recycling,
+		// the slot); the generation check catches both.
+		if e.timerActive(id, gen) {
+			e.schedule(now+period, tick, id)
+		}
+	}
+	e.schedule(first, tick, id)
+	return Timer{e: e, id: id, gen: gen}
+}
+
+// --- dispatch ---
 
 // Step dispatches the next pending event and reports whether one existed.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancel != nil && *ev.cancel {
+	for len(e.queue) > 0 {
+		ev := e.popMin()
+		if !e.settle(&ev) {
 			continue
 		}
 		e.now = ev.at
@@ -209,18 +379,22 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.queue.Len() > 0 {
-		next := e.queue[0]
-		if next.cancel != nil && *next.cancel {
-			heap.Pop(&e.queue)
+	for len(e.queue) > 0 {
+		next := &e.queue[0]
+		if next.timer != noTimer && e.timers[next.timer].stopped {
+			ev := e.popMin()
+			e.settle(&ev)
 			continue
 		}
 		if next.at > deadline {
 			break
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		next.fn(next.at)
+		ev := e.popMin()
+		if !e.settle(&ev) {
+			continue
+		}
+		e.now = ev.at
+		ev.fn(ev.at)
 	}
 	if deadline > e.now {
 		e.now = deadline
@@ -235,5 +409,5 @@ func (e *Engine) Run() {
 	}
 }
 
-// Pending returns the number of queued (possibly canceled) events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of live (non-canceled) scheduled events.
+func (e *Engine) Pending() int { return len(e.queue) - e.tombstones }
