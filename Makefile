@@ -18,13 +18,21 @@ build:
 test:
 	$(GO) test -race -timeout 45m ./...
 
-# bench-smoke runs the engine micro-benchmarks briefly — enough to catch an
-# allocation regression on the event path without paying for a full run.
+# bench-smoke runs the engine and tracer micro-benchmarks briefly — enough to
+# catch an allocation regression on the event path or on the disabled
+# observability fast path without paying for a full run.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run '^$$' -bench Engine -benchmem -benchtime 200000x .
+	$(GO) test -run '^$$' -bench 'Engine|Tracer' -benchmem -benchtime 200000x .
 
 # bench runs every benchmark, including full artifact regeneration.
 .PHONY: bench
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# cover writes a coverage profile across all packages and prints the
+# per-function tail plus the total.
+.PHONY: cover
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 20

@@ -16,6 +16,7 @@ import (
 	"polca/internal/experiments"
 	"polca/internal/gpu"
 	"polca/internal/llm"
+	"polca/internal/obs"
 	"polca/internal/plan"
 	"polca/internal/polca"
 	"polca/internal/sim"
@@ -117,6 +118,43 @@ func BenchmarkTimerStop(b *testing.B) {
 	}
 	if eng.Pending() != 0 {
 		b.Fatalf("Pending = %d after stopping every timer, want 0", eng.Pending())
+	}
+}
+
+// tracerSink is read through a package-level variable so the compiler cannot
+// prove the receiver nil and fold the disabled path away — the benchmark must
+// measure what instrumented production code actually pays.
+var tracerSink *obs.Tracer
+
+// BenchmarkTracerDisabled measures the cost an instrumentation site pays when
+// tracing is off (nil tracer). The observability contract in DESIGN.md holds
+// this to a couple of nanoseconds and zero allocations.
+func BenchmarkTracerDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tracerSink.Emit(obs.Event{
+			At:   sim.Time(i) * time.Millisecond,
+			Kind: obs.KindCapApply, Server: 3, Pool: obs.PoolLow,
+			MHz: 1200, Reason: "rung.engage",
+		})
+	}
+}
+
+// BenchmarkTracerEnabled measures the recording path, periodically resetting
+// so the event buffer (and benchmark memory) stays bounded.
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := obs.NewTracer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(obs.Event{
+			At:   sim.Time(i) * time.Millisecond,
+			Kind: obs.KindCapApply, Server: 3, Pool: obs.PoolLow,
+			MHz: 1200, Reason: "rung.engage",
+		})
+		if tr.Len() >= 1<<20 {
+			tr.Reset()
+		}
 	}
 }
 

@@ -4,9 +4,14 @@
 //
 //	polca-experiments [-quick] [-seed N] [-eval-days N] [-sweep-days N]
 //	                  [-servers N] [-parallel N] [-only id1,id2] [-list]
+//	                  [-v] [-http :6060]
 //
 // Without -only it runs every registered experiment in paper order and
 // prints the reproduced rows. -quick scales horizons down for a fast pass.
+// -v logs each sweep grid point as the parallel executor completes it
+// (count/total, wall time, cache hits); -http serves live /metrics
+// (Prometheus text), /progress (JSON view of in-flight grid points), and
+// /debug/pprof while the suite runs. Neither perturbs results.
 package main
 
 import (
@@ -16,9 +21,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"polca/internal/experiments"
 	"polca/internal/insights"
+	"polca/internal/obs"
 )
 
 func main() {
@@ -32,6 +39,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	checkInsights := flag.Bool("insights", false, "verify the paper's nine insights and exit")
 	outDir := flag.String("out", "", "also write each experiment's data as JSON into this directory")
+	verbose := flag.Bool("v", false, "log each sweep grid point as it completes")
+	httpAddr := flag.String("http", "", "serve live /metrics, /progress, and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	if *checkInsights {
@@ -70,6 +79,29 @@ func main() {
 		opts.RowServers = *servers
 	}
 	opts.Parallel = *parallel
+
+	if *verbose || *httpAddr != "" {
+		opts.Obs = &obs.Observer{Metrics: obs.NewRegistry()}
+		opts.Progress = obs.NewProgress(0)
+	}
+	if *verbose {
+		// Progress lines go to stderr so stdout stays the rendered results.
+		opts.Progress.OnDone = func(name string, done, total int, cached bool, elapsed time.Duration) {
+			suffix := ""
+			if cached {
+				suffix = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s in %.1fs%s\n", done, total, name, elapsed.Seconds(), suffix)
+		}
+	}
+	if *httpAddr != "" {
+		addr, err := obs.Serve(*httpAddr, opts.Obs.Metrics, opts.Progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "http:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "introspection on http://%s (/metrics, /progress, /debug/pprof)\n", addr)
+	}
 
 	if *only == "" {
 		results, err := experiments.RunAll(opts, os.Stdout)

@@ -67,10 +67,24 @@ func build(dir string) (string, []string, error) {
 		}
 		found++
 		fmt.Fprintf(&b, "## %s\n\n", title)
-		fmt.Fprintf(&b, "```\n%s\n```\n\n", strings.TrimRight(string(blob), "\n"))
+		fmt.Fprintf(&b, "```\n%s\n```\n\n", strings.TrimRight(stripComments(string(blob)), "\n"))
 	}
 	if found == 0 {
 		return "", missing, fmt.Errorf("no exported artifacts in %s (run polca-experiments -out %s first)", dir, dir)
 	}
 	return b.String(), missing, nil
+}
+
+// stripComments drops '#' run-provenance header lines from an artifact so
+// reports stay readable; provenance remains in the source files.
+func stripComments(s string) string {
+	lines := strings.Split(s, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
 }

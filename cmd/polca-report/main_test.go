@@ -44,3 +44,21 @@ func TestBuildEmptyDir(t *testing.T) {
 		t.Error("want error for a directory with no artifacts")
 	}
 }
+
+func TestBuildSkipsProvenanceComments(t *testing.T) {
+	dir := t.TempDir()
+	body := "# seed: 1\n# git: abc123\nFIG4 ROWS\nmore # inline stays\n"
+	if err := os.WriteFile(filepath.Join(dir, "fig4.txt"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, _, err := build(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(report, "# seed") || strings.Contains(report, "# git") {
+		t.Errorf("provenance comment lines leaked into the report:\n%s", report)
+	}
+	if !strings.Contains(report, "FIG4 ROWS") || !strings.Contains(report, "more # inline stays") {
+		t.Errorf("non-comment content lost:\n%s", report)
+	}
+}

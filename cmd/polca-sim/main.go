@@ -14,12 +14,21 @@
 // policies one at a time. The -csv flag additionally writes the 2 s
 // row-utilization series (suffixed with the policy name when several are
 // simulated).
+//
+// Observability: -trace writes the run's structured event stream (threshold
+// crossings, per-server cap/uncap actions, request lifecycle, brake events)
+// as JSONL, -perfetto writes the same stream as Chrome trace-event JSON for
+// chrome://tracing or ui.perfetto.dev, and -http serves live /metrics
+// (Prometheus text), /progress, and /debug/pprof while the simulation runs.
+// Tracing never changes results; with it off the instrumentation costs one
+// nil check per site. Both trace flags take per-policy suffixes like -csv.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"polca/internal/cluster"
+	"polca/internal/obs"
 	"polca/internal/polca"
 	"polca/internal/sim"
 	"polca/internal/stats"
@@ -37,14 +47,17 @@ import (
 
 // runOpts carries everything one policy simulation needs.
 type runOpts struct {
-	policy  string
-	cfg     cluster.RowConfig
-	days    int
-	seed    int64
-	t1, t2  float64
-	retrain bool
-	reqs    []workload.Request // non-nil replays a recorded trace
-	csvPath string
+	policy       string
+	cfg          cluster.RowConfig
+	days         int
+	seed         int64
+	t1, t2       float64
+	retrain      bool
+	reqs         []workload.Request // non-nil replays a recorded trace
+	csvPath      string
+	tracePath    string
+	perfettoPath string
+	obs          *obs.Observer
 }
 
 func main() {
@@ -61,6 +74,9 @@ func main() {
 	retrain := flag.Bool("retrain", false, "print a threshold retraining recommendation after the run")
 	replay := flag.String("replay", "", "replay a request trace CSV (from polca-trace -requests) instead of generating arrivals")
 	parallel := flag.Int("parallel", 0, "max concurrent policy simulations (0 = GOMAXPROCS)")
+	tracePath := flag.String("trace", "", "write the structured event stream to this JSONL file")
+	perfettoPath := flag.String("perfetto", "", "write the event stream as Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)")
+	httpAddr := flag.String("http", "", "serve live /metrics, /progress, and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	cfg := cluster.Production()
@@ -98,15 +114,40 @@ func main() {
 		workers = len(policies)
 	}
 
+	// One shared metrics registry for every policy run (scoped by a policy
+	// label); tracers are per run so event streams don't interleave.
+	var registry *obs.Registry
+	if *httpAddr != "" || *tracePath != "" || *perfettoPath != "" {
+		registry = obs.NewRegistry()
+	}
+	if *httpAddr != "" {
+		addr, err := obs.Serve(*httpAddr, registry, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "http:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "introspection on http://%s (/metrics, /progress, /debug/pprof)\n", addr)
+	}
+
 	reports := make([]string, len(policies))
 	errs := make([]error, len(policies))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, p := range policies {
+		var observer *obs.Observer
+		if registry != nil {
+			observer = &obs.Observer{Metrics: registry, Labels: obs.Label("policy", p)}
+			if *tracePath != "" || *perfettoPath != "" {
+				observer.Tracer = obs.NewTracer()
+			}
+		}
 		opts := runOpts{
 			policy: p, cfg: cfg, days: *days, seed: *seed,
 			t1: *t1, t2: *t2, retrain: *retrain, reqs: reqs,
-			csvPath: policyCSVPath(*csvPath, p, len(policies) > 1),
+			csvPath:      policyCSVPath(*csvPath, p, len(policies) > 1),
+			tracePath:    policyCSVPath(*tracePath, p, len(policies) > 1),
+			perfettoPath: policyCSVPath(*perfettoPath, p, len(policies) > 1),
+			obs:          observer,
 		}
 		wg.Add(1)
 		go func(i int, opts runOpts) {
@@ -169,6 +210,7 @@ func runOne(o runOpts) (string, error) {
 	fitCfg.PowerIntensity = 1
 	horizon := time.Duration(o.days) * 24 * time.Hour
 	eng := sim.New(o.seed)
+	eng.SetObserver(o.obs)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Simulating %d days: %d servers (%d base, +%.0f%%), policy %s, intensity %.2f\n",
@@ -214,21 +256,70 @@ func runOne(o runOpts) (string, error) {
 		fmt.Fprintf(&b, "\nThreshold retraining (from this run's power trace and capping history):\n%s", rec.Describe())
 	}
 
+	prov := o.provenance(ctrl.Name())
 	if o.csvPath != "" {
-		if err := writeCSV(o.csvPath, m.Util); err != nil {
+		if err := writeCSV(o.csvPath, m.Util, prov); err != nil {
 			return "", fmt.Errorf("csv: %w", err)
 		}
 		fmt.Fprintf(&b, "\nUtilization series written to %s\n", o.csvPath)
 	}
+	if tr := o.obs.Trace(); tr != nil {
+		if o.tracePath != "" {
+			if err := writeTrace(o.tracePath, tr.WriteJSONL); err != nil {
+				return "", fmt.Errorf("trace: %w", err)
+			}
+			fmt.Fprintf(&b, "\nEvent trace (%d events) written to %s\n", tr.Len(), o.tracePath)
+		}
+		if o.perfettoPath != "" {
+			if err := writeTrace(o.perfettoPath, tr.WriteChromeTrace); err != nil {
+				return "", fmt.Errorf("perfetto: %w", err)
+			}
+			fmt.Fprintf(&b, "Perfetto trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", o.perfettoPath)
+		}
+	}
 	return b.String(), nil
 }
 
-func writeCSV(path string, s stats.Series) error {
+// provenance assembles the run parameters stamped onto result files.
+func (o runOpts) provenance(policyName string) obs.Provenance {
+	return obs.Provenance{
+		"tool":      "polca-sim",
+		"policy":    policyName,
+		"seed":      o.seed,
+		"days":      o.days,
+		"servers":   o.cfg.Servers(),
+		"base":      o.cfg.BaseServers,
+		"added":     o.cfg.AddedFraction,
+		"intensity": o.cfg.PowerIntensity,
+		"lp":        o.cfg.LowPriorityFraction,
+		"t1":        o.t1,
+		"t2":        o.t2,
+		"git":       obs.GitDescribe(),
+	}
+}
+
+// writeTrace streams a tracer export to a file.
+func writeTrace(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeCSV(path string, s stats.Series, prov obs.Provenance) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if err := obs.WriteProvenance(f, prov); err != nil {
+		return err
+	}
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{"seconds", "utilization"}); err != nil {
 		return err

@@ -17,10 +17,24 @@ import (
 	"time"
 
 	"polca/internal/cluster"
+	"polca/internal/obs"
 	"polca/internal/polca"
 	"polca/internal/stats"
 	"polca/internal/trace"
 )
+
+// provenance stamps every CSV this command writes, so a result file is
+// self-describing (readers skip '#' comment lines).
+func provenance(days int, seed int64, servers int, bucket time.Duration) obs.Provenance {
+	return obs.Provenance{
+		"tool":    "polca-trace",
+		"days":    days,
+		"seed":    seed,
+		"servers": servers,
+		"bucket":  bucket,
+		"git":     obs.GitDescribe(),
+	}
+}
 
 func main() {
 	days := flag.Int("days", 7, "trace length in days")
@@ -62,8 +76,9 @@ func main() {
 	trained := polca.TrainThresholds(ref, cfg.BrakeUtil, cfg.OOBLatency)
 	fmt.Printf("Thresholds trained from this trace: T1=%.0f%% T2=%.0f%%\n", trained.T1*100, trained.T2*100)
 
+	prov := provenance(*days, *seed, *servers, *bucket)
 	if *csvPath != "" {
-		if err := writeSeriesCSV(*csvPath, ref); err != nil {
+		if err := writeSeriesCSV(*csvPath, ref, prov); err != nil {
 			fmt.Fprintln(os.Stderr, "csv:", err)
 			os.Exit(1)
 		}
@@ -71,7 +86,7 @@ func main() {
 	}
 	if *arrPath != "" {
 		arrivals := plan.Arrivals(rand.New(rand.NewSource(*seed + 1)))
-		if err := writeArrivalsCSV(*arrPath, arrivals); err != nil {
+		if err := writeArrivalsCSV(*arrPath, arrivals, prov); err != nil {
 			fmt.Fprintln(os.Stderr, "csv:", err)
 			os.Exit(1)
 		}
@@ -88,7 +103,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "requests:", err)
 			os.Exit(1)
 		}
-		err = cluster.SaveRequestsCSV(f, reqs)
+		err = obs.WriteProvenance(f, prov)
+		if err == nil {
+			err = cluster.SaveRequestsCSV(f, reqs)
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -100,12 +118,15 @@ func main() {
 	}
 }
 
-func writeSeriesCSV(path string, s stats.Series) error {
+func writeSeriesCSV(path string, s stats.Series, prov obs.Provenance) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if err := obs.WriteProvenance(f, prov); err != nil {
+		return err
+	}
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{"seconds", "utilization"}); err != nil {
 		return err
@@ -122,12 +143,15 @@ func writeSeriesCSV(path string, s stats.Series) error {
 	return w.Error()
 }
 
-func writeArrivalsCSV(path string, arrivals []time.Duration) error {
+func writeArrivalsCSV(path string, arrivals []time.Duration, prov obs.Provenance) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if err := obs.WriteProvenance(f, prov); err != nil {
+		return err
+	}
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{"seconds"}); err != nil {
 		return err

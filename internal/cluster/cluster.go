@@ -18,6 +18,7 @@ import (
 
 	"polca/internal/gpu"
 	"polca/internal/llm"
+	"polca/internal/obs"
 	"polca/internal/plan"
 	"polca/internal/server"
 	"polca/internal/sim"
@@ -245,6 +246,11 @@ type Actuator interface {
 	PoolLock(p workload.Priority) float64
 	// GPUSpec returns the GPU SKU, so policies can reference its clocks.
 	GPUSpec() gpu.Spec
+	// Observer returns the run's observability sink (nil when disabled) so
+	// policies can trace their decisions. Observation is read-only with
+	// respect to the simulation: emitting events must never change control
+	// behaviour.
+	Observer() *obs.Observer
 }
 
 // Controller is a row power-management policy. OnTelemetry runs at every
@@ -352,6 +358,21 @@ type Row struct {
 	telemetrySub  sim.Timer
 
 	metrics *Metrics
+
+	// Observability handles, cached at construction so the hot paths pay a
+	// single nil-receiver branch when disabled. cmdsInFlight counts issued
+	// OOB commands that have not landed yet (for trace reconciliation).
+	obs          *obs.Observer
+	tracer       *obs.Tracer
+	utilGauge    *obs.Gauge
+	utilHist     *obs.Histogram
+	arrivedCtr   [2]*obs.Counter // indexed by workload.Priority
+	completedCtr [2]*obs.Counter
+	droppedCtr   [2]*obs.Counter
+	lockCmdCtr   *obs.Counter
+	failedCmdCtr *obs.Counter
+	brakeCtr     *obs.Counter
+	cmdsInFlight int
 }
 
 // NewRow builds a row on the engine with the given policy. It panics on an
@@ -411,6 +432,21 @@ func NewRow(eng *sim.Engine, cfg RowConfig, ctrl Controller) *Row {
 		workload.Low: {0: sLow}, workload.High: {0: sHigh},
 	}
 	r.svcEffSec = cfg.Shape().MeanServiceSec
+	if o := eng.Observer(); o != nil {
+		r.obs = o
+		r.tracer = o.Trace()
+		r.utilGauge = o.Gauge("row_util")
+		r.utilHist = o.Histogram("row_util_seconds", obs.DefaultUtilBuckets)
+		for _, p := range []workload.Priority{workload.Low, workload.High} {
+			lbl := obs.Label("priority", p.String())
+			r.arrivedCtr[p] = o.Counter(obs.MergeLabels("row_requests_arrived_total", lbl))
+			r.completedCtr[p] = o.Counter(obs.MergeLabels("row_requests_completed_total", lbl))
+			r.droppedCtr[p] = o.Counter(obs.MergeLabels("row_requests_dropped_total", lbl))
+		}
+		r.lockCmdCtr = o.Counter("row_oob_commands_total")
+		r.failedCmdCtr = o.Counter("row_oob_failures_total")
+		r.brakeCtr = o.Counter("row_brake_events_total")
+	}
 	return r
 }
 
@@ -422,6 +458,14 @@ func (r *Row) PoolSize(p workload.Priority) int { return len(r.pools[p]) }
 
 // GPUSpec implements Actuator.
 func (r *Row) GPUSpec() gpu.Spec { return gpu.A100SXM80GB() }
+
+// Observer implements Actuator.
+func (r *Row) Observer() *obs.Observer { return r.obs }
+
+// InFlightCommands returns the number of issued OOB commands that have not
+// yet landed or failed — the trace reconciliation remainder: issues =
+// applies + releases + failures + in-flight.
+func (r *Row) InFlightCommands() int { return r.cmdsInFlight }
 
 // PoolLock implements Actuator.
 func (r *Row) PoolLock(p workload.Priority) float64 {
@@ -446,6 +490,12 @@ func (r *Row) PoolAppliedLocks(p workload.Priority) []float64 {
 // immediately; the OOB pipeline applies it per server with latency and
 // possible silent failures, re-issuing on subsequent telemetry ticks.
 func (r *Row) SetPoolLock(p workload.Priority, mhz float64) {
+	if r.tracer != nil && r.PoolLock(p) != mhz {
+		r.tracer.Emit(obs.Event{
+			At: r.eng.Now(), Kind: obs.KindCapRequest,
+			Server: -1, Pool: int8(p), MHz: mhz,
+		})
+	}
 	for _, n := range r.pools[p] {
 		n.desiredLock = mhz
 	}
@@ -500,6 +550,8 @@ func (r *Row) startTelemetry() {
 		}
 		r.powerSum, r.powerSamples = 0, 0
 		r.metrics.Util.Values = append(r.metrics.Util.Values, util)
+		r.utilGauge.Set(util)
+		r.utilHist.Observe(util, r.cfg.TelemetryInterval)
 		r.brakeLogic(util)
 		r.ctrl.OnTelemetry(now, util, r)
 		r.pumpCommands(now)
@@ -525,6 +577,10 @@ func (r *Row) arrive(now sim.Time) {
 	}
 	req := r.sampler.SampleWithPriority(now, pri)
 	r.metrics.Arrived[pri]++
+	r.arrivedCtr[pri].Inc()
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{At: now, Kind: obs.KindArrive, Server: -1, Pool: int8(pri)})
+	}
 	r.dispatch(now, req)
 }
 
@@ -535,6 +591,13 @@ func (r *Row) dispatch(now sim.Time, req workload.Request) {
 	// production load balancer sheds or redirects beyond that.
 	if len(r.frontQ[req.Priority]) >= len(r.pools[req.Priority]) {
 		r.metrics.Dropped[req.Priority]++
+		r.droppedCtr[req.Priority].Inc()
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{
+				At: now, Kind: obs.KindDrop, Server: -1, Pool: int8(req.Priority),
+				Reason: "buffer-full",
+			})
+		}
 		return
 	}
 	q := append(r.frontQ[req.Priority], req)
@@ -702,6 +765,13 @@ func (r *Row) complete(n *node, now sim.Time) {
 	r.metrics.Completed[pri]++
 	r.metrics.LatencySec[pri] = append(r.metrics.LatencySec[pri], (now - a.req.Arrival).Seconds())
 	r.metrics.BusySec[pri] += (now - a.started).Seconds()
+	r.completedCtr[pri].Inc()
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{
+			At: now, Kind: obs.KindComplete, Server: int32(n.idx), Pool: int8(pri),
+			Value: (now - a.req.Arrival).Seconds(),
+		})
+	}
 	r.busy[pri]--
 	r.tryAdmit(pri, now)
 }
@@ -757,10 +827,20 @@ func (r *Row) brakeLogic(util float64) {
 	case !r.braked && !r.brakePending && util >= r.cfg.BrakeUtil:
 		r.brakePending = true
 		r.metrics.BrakeEvents++
+		r.brakeCtr.Inc()
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{
+				At: r.eng.Now(), Kind: obs.KindBrakeTrigger, Server: -1,
+				Pool: obs.PoolNone, Value: util,
+			})
+		}
 		r.eng.After(r.cfg.BrakeLatency, func(now sim.Time) {
 			r.brakePending = false
 			r.braked = true
 			r.brakeHeld = now + r.cfg.BrakeHold
+			if r.tracer != nil {
+				r.tracer.Emit(obs.Event{At: now, Kind: obs.KindBrakeEngage, Server: -1, Pool: obs.PoolNone})
+			}
 			for _, n := range r.nodes {
 				n.dev.SetBrake(true)
 				r.replan(n, now)
@@ -768,6 +848,12 @@ func (r *Row) brakeLogic(util float64) {
 		})
 	case r.braked && util < r.cfg.BrakeReleaseUtil && r.eng.Now() >= r.brakeHeld:
 		r.braked = false
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{
+				At: r.eng.Now(), Kind: obs.KindBrakeRelease, Server: -1,
+				Pool: obs.PoolNone, Value: util,
+			})
+		}
 		for _, n := range r.nodes {
 			n.dev.SetBrake(false)
 			r.replan(n, r.eng.Now())
@@ -787,18 +873,45 @@ func (r *Row) pumpCommands(now sim.Time) {
 		}
 		n.cmdInFlight = true
 		r.metrics.LockCommands++
+		r.cmdsInFlight++
+		r.lockCmdCtr.Inc()
 		target := n.desiredLock
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{
+				At: now, Kind: obs.KindOOBIssue,
+				Server: int32(n.idx), Pool: int8(n.pri), MHz: target,
+			})
+		}
 		jitter := 0.8 + 0.4*r.oobRNG.Float64()
 		delay := time.Duration(float64(r.cfg.OOBLatency) * jitter)
 		node := n
 		r.eng.After(delay, func(t sim.Time) {
 			node.cmdInFlight = false
+			r.cmdsInFlight--
 			if r.oobRNG.Float64() < r.cfg.OOBFailureProb {
 				r.metrics.FailedCommands++
+				r.failedCmdCtr.Inc()
+				if r.tracer != nil {
+					r.tracer.Emit(obs.Event{
+						At: t, Kind: obs.KindOOBFail,
+						Server: int32(node.idx), Pool: int8(node.pri), MHz: target,
+						Reason: "silent-failure",
+					})
+				}
 				return // silent failure; re-issued on a later tick
 			}
 			node.appliedLock = target
 			node.dev.LockClock(target)
+			if r.tracer != nil {
+				kind := obs.KindCapApply
+				if target == 0 {
+					kind = obs.KindCapRelease
+				}
+				r.tracer.Emit(obs.Event{
+					At: t, Kind: kind,
+					Server: int32(node.idx), Pool: int8(node.pri), MHz: target,
+				})
+			}
 			r.replan(node, t)
 			r.tryAdmit(node.pri, t)
 		})

@@ -119,6 +119,7 @@ func SaveRequestsCSV(w io.Writer, reqs []workload.Request) error {
 // requests sorted by arrival.
 func LoadRequestsCSV(rd io.Reader) ([]workload.Request, error) {
 	cr := csv.NewReader(rd)
+	cr.Comment = '#' // skip run-provenance header lines
 	records, err := cr.ReadAll()
 	if err != nil {
 		return nil, err

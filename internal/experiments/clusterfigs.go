@@ -94,6 +94,9 @@ func runRowSpec(o Options, s rowSpec) (*cluster.Metrics, error) {
 	plan = plan.Scale(1 + s.added)
 
 	eng := sim.New(o.Seed)
+	// Metrics only: per-request trace events from dozens of grid points
+	// would flood a sweep-level trace, but aggregate counters stay useful.
+	eng.SetObserver(o.Obs.MetricsOnly())
 	row := cluster.NewRow(eng, cfg, buildController(s))
 	return row.Run(plan), nil
 }

@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+
+	"polca/internal/obs"
 )
 
 // Options scales experiments between quick smoke runs and full,
@@ -35,6 +37,15 @@ type Options struct {
 	// sim.Engine seeded from Seed, and sweeps assemble their outputs in
 	// spec order.
 	Parallel int
+
+	// Obs, when non-nil, receives sweep-level events (grid.start/grid.done)
+	// and aggregates engine/row metrics across every simulation the
+	// experiments run. Observation never changes results: output is
+	// byte-identical with or without it (TestObsDoesNotPerturbResults).
+	Obs *obs.Observer
+	// Progress, when non-nil, tracks grid points through the sweep executor
+	// for the -v log and the /progress endpoint.
+	Progress *obs.Progress
 }
 
 // DefaultOptions mirrors the paper's evaluation scale.

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"polca/internal/obs"
+)
+
+// TestObsDoesNotPerturbResults locks the tentpole contract at the
+// experiment level: attaching a full observer (tracer + metrics +
+// progress) to a sweep must leave the rendered output byte-identical to an
+// uninstrumented cold-cache run.
+func TestObsDoesNotPerturbResults(t *testing.T) {
+	for _, id := range []string{"fig13", "fig17"} {
+		resetEvalCache()
+		plain, err := Run(id, QuickOptions())
+		if err != nil {
+			t.Fatalf("%s plain: %v", id, err)
+		}
+
+		resetEvalCache()
+		oo := QuickOptions()
+		oo.Obs = &obs.Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+		oo.Progress = obs.NewProgress(0)
+		observed, err := Run(id, oo)
+		if err != nil {
+			t.Fatalf("%s observed: %v", id, err)
+		}
+		if plain.Text != observed.Text {
+			t.Errorf("%s: output differs with observability enabled\n--- plain ---\n%s\n--- observed ---\n%s",
+				id, plain.Text, observed.Text)
+		}
+
+		// The instrumentation itself must have fired: grid events, sweep
+		// counters, progress accounting, and engine metrics.
+		starts := oo.Obs.Tracer.CountKind(obs.KindGridStart)
+		dones := oo.Obs.Tracer.CountKind(obs.KindGridDone)
+		if starts == 0 || starts != dones {
+			t.Errorf("%s: grid events start=%d done=%d", id, starts, dones)
+		}
+		snap := oo.Obs.Metrics.Snapshot()
+		if snap.Counters["sweep_points_total"] != int64(dones) {
+			t.Errorf("%s: sweep_points_total = %d, want %d", id, snap.Counters["sweep_points_total"], dones)
+		}
+		if snap.Counters["sim_events_dispatched_total"] == 0 {
+			t.Errorf("%s: engine metrics did not flow through MetricsOnly observer", id)
+		}
+		ps := oo.Progress.Snapshot()
+		if ps.Done != dones || ps.Total < ps.Done || len(ps.InFlight) != 0 {
+			t.Errorf("%s: progress snapshot %+v inconsistent with %d grid points", id, ps, dones)
+		}
+	}
+}
+
+// TestSweepCacheHitsCounted re-runs a sweep warm and checks the cache-hit
+// counter and the cached flag in progress accounting.
+func TestSweepCacheHitsCounted(t *testing.T) {
+	resetEvalCache()
+	o := QuickOptions().normalize()
+	spec := rowSpec{policy: "nocap", added: 0, intensity: 1, days: 1}
+	oObs := &obs.Observer{Metrics: obs.NewRegistry()}
+	o.Obs = oObs
+	o.Progress = obs.NewProgress(0)
+	if _, err := simulateRows(o, []rowSpec{spec, spec}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simulateRows(o, []rowSpec{spec}); err != nil {
+		t.Fatal(err)
+	}
+	snap := oObs.Metrics.Snapshot()
+	if snap.Counters["sweep_points_total"] != 3 {
+		t.Fatalf("sweep_points_total = %d, want 3", snap.Counters["sweep_points_total"])
+	}
+	// Of the three requests for one spec, exactly one paid for a simulation.
+	if snap.Counters["sweep_cache_hits_total"] != 2 {
+		t.Fatalf("sweep_cache_hits_total = %d, want 2", snap.Counters["sweep_cache_hits_total"])
+	}
+	ps := o.Progress.Snapshot()
+	if ps.Total != 3 || ps.Done != 3 || ps.Cached != 2 {
+		t.Fatalf("progress snapshot %+v, want total=3 done=3 cached=2", ps)
+	}
+}

@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"polca/internal/cluster"
+	"polca/internal/obs"
 )
 
 // evalCall is one in-flight or completed row simulation. Callers wait on
@@ -30,15 +32,26 @@ func resetEvalCache() {
 	evalMu.Unlock()
 }
 
-// simulateRow runs (or returns the cached result of) one row simulation.
-// Concurrent callers with the same spec block on the first caller's run.
-func simulateRow(o Options, s rowSpec) (*cluster.Metrics, error) {
+// specLabel names a grid point for progress tracking and grid events.
+func specLabel(s rowSpec) string {
+	return fmt.Sprintf("%s added=%g int=%g lp=%g d=%d mhz=%g t=%g/%g",
+		s.policy, s.added, s.intensity, s.lpFrac, s.days, s.lpBaseMHz, s.t1, s.t2)
+}
+
+// simulateRowCached runs (or returns the cached result of) one row
+// simulation, reporting whether the result came from the cache — waiters
+// that piggyback on another caller's in-flight run count as cached, since
+// they did not pay for a simulation. Concurrent callers with the same spec
+// block on the first caller's run.
+func simulateRowCached(o Options, s rowSpec) (*cluster.Metrics, bool, error) {
+	// The key deliberately covers only the inputs that shape the
+	// simulation; observability fields must never split the cache.
 	key := fmt.Sprintf("%d/%d/%+v", o.Seed, o.RowServers, s)
 	evalMu.Lock()
 	if c, ok := evalCache[key]; ok {
 		evalMu.Unlock()
 		<-c.done
-		return c.m, c.err
+		return c.m, true, c.err
 	}
 	c := &evalCall{done: make(chan struct{})}
 	evalCache[key] = c
@@ -52,7 +65,40 @@ func simulateRow(o Options, s rowSpec) (*cluster.Metrics, error) {
 		evalMu.Unlock()
 	}
 	close(c.done)
-	return c.m, c.err
+	return c.m, false, c.err
+}
+
+// simulateRow is simulateRowCached for callers that don't care about cache
+// provenance.
+func simulateRow(o Options, s rowSpec) (*cluster.Metrics, error) {
+	m, _, err := simulateRowCached(o, s)
+	return m, err
+}
+
+// simulateTracked wraps one grid-point simulation with progress tracking,
+// sweep counters, and grid.start/grid.done trace events. All of it is
+// wall-clock observability metadata — nothing here can reach simulation
+// state.
+func simulateTracked(o Options, s rowSpec) (*cluster.Metrics, error) {
+	if o.Obs == nil && o.Progress == nil {
+		return simulateRow(o, s)
+	}
+	label := specLabel(s)
+	started := time.Now()
+	o.Progress.Start(label)
+	o.Obs.Emit(obs.Event{Kind: obs.KindGridStart, Server: -1, Pool: obs.PoolNone, Label: label})
+	m, cached, err := simulateRowCached(o, s)
+	elapsed := time.Since(started)
+	o.Progress.Done(label, cached)
+	o.Obs.Counter("sweep_points_total").Inc()
+	if cached {
+		o.Obs.Counter("sweep_cache_hits_total").Inc()
+	}
+	o.Obs.Emit(obs.Event{
+		Kind: obs.KindGridDone, Server: -1, Pool: obs.PoolNone,
+		Label: label, Value: elapsed.Seconds(),
+	})
+	return m, err
 }
 
 // simulateRows runs one simulation per spec on a worker pool bounded by
@@ -61,6 +107,7 @@ func simulateRow(o Options, s rowSpec) (*cluster.Metrics, error) {
 // within the batch or across concurrently running experiments — are
 // deduplicated by simulateRow's singleflight cache.
 func simulateRows(o Options, specs []rowSpec) ([]*cluster.Metrics, error) {
+	o.Progress.AddTotal(len(specs))
 	out := make([]*cluster.Metrics, len(specs))
 	workers := o.workers()
 	if workers > len(specs) {
@@ -68,7 +115,7 @@ func simulateRows(o Options, specs []rowSpec) ([]*cluster.Metrics, error) {
 	}
 	if workers <= 1 {
 		for i, s := range specs {
-			m, err := simulateRow(o, s)
+			m, err := simulateTracked(o, s)
 			if err != nil {
 				return nil, err
 			}
@@ -84,7 +131,7 @@ func simulateRows(o Options, specs []rowSpec) ([]*cluster.Metrics, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i], errs[i] = simulateRow(o, specs[i])
+				out[i], errs[i] = simulateTracked(o, specs[i])
 			}
 		}()
 	}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves live introspection over HTTP:
+//
+//	/metrics        Prometheus text-format snapshot of the registry
+//	/progress       JSON view of sweep progress and in-flight grid points
+//	/healthz        liveness probe
+//	/debug/pprof/*  the standard runtime profiles
+//
+// Either field may be nil; the corresponding endpoint then serves an empty
+// snapshot rather than failing.
+func Handler(reg *Registry, prog *Progress) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(prog.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves the introspection handler in a background
+// goroutine, returning the bound address (useful when addr has port 0).
+// The listener lives for the remaining process lifetime — the CLIs exit
+// shortly after their runs complete, so there is no graceful-shutdown
+// dance.
+func Serve(addr string, reg *Registry, prog *Progress) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(reg, prog)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sort"
+)
+
+// GitDescribe returns a best-effort VCS identifier for the running binary
+// from its embedded build info (no git invocation): the short revision,
+// suffixed with "-dirty" when built from a modified tree. Binaries built
+// without VCS stamping (e.g. `go test`) report "unknown".
+func GitDescribe() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, modified := "", ""
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + modified
+}
+
+// Provenance is the set of run parameters stamped onto result files.
+// Values render with %v; keys are emitted in sorted order so headers are
+// deterministic.
+type Provenance map[string]any
+
+// WriteProvenance writes the provenance as `# key: value` comment lines —
+// the header every CSV the CLIs produce starts with, making result files
+// self-describing. Readers skip lines starting with '#'
+// (encoding/csv's Comment rune).
+func WriteProvenance(w io.Writer, p Provenance) error {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "# %s: %v\n", k, p[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

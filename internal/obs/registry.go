@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric with an atomic fast path.
+// A nil *Counter (metrics disabled) no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds d (d must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric stored as atomic float bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(x float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(x))
+}
+
+// Value returns the last set value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a sim-time-weighted histogram: each observation carries the
+// simulated duration it was in effect, so bucket weights are "seconds
+// spent at this value" rather than sample counts. Count-style usage
+// (latencies) passes a constant weight per observation.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // bucket upper bounds, ascending
+	weights []float64 // len(bounds)+1; last bucket is +Inf
+	sum     float64   // integral of value*dt, in value-seconds
+	total   float64   // total observed seconds
+}
+
+// DefaultUtilBuckets are the bucket bounds used for row power-utilization
+// histograms: dense around the POLCA thresholds and the brake point.
+var DefaultUtilBuckets = []float64{0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0, 1.05}
+
+// Observe accumulates d of simulated time at value v.
+func (h *Histogram) Observe(v float64, d time.Duration) {
+	if h == nil || d <= 0 {
+		return
+	}
+	sec := d.Seconds()
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.weights[i] += sec
+	h.sum += v * sec
+	h.total += sec
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds  []float64
+	Weights []float64 // per-bucket seconds; one more entry than Bounds
+	Sum     float64
+	Total   float64
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Weights: append([]float64(nil), h.weights...),
+		Sum:     h.sum,
+		Total:   h.total,
+	}
+}
+
+// Registry holds named metrics. Series names may carry Prometheus labels
+// inline (`row_requests_total{priority="low"}`); creation takes the
+// registry lock once, after which callers hold the metric and update it
+// lock-free (counters, gauges) or under the metric's own lock
+// (histograms). A nil *Registry hands out nil metrics, which no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given bucket upper bounds (ascending; used only on creation).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			weights: make([]float64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every metric's current value.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot returns a consistent-enough copy for rendering: each metric is
+// read atomically, though the set is not a global atomic cut (fine for
+// monitoring).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	return s
+}
+
+// family returns the metric family name (the series name without labels).
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Label renders one escaped Prometheus label pair (`key="value"`).
+func Label(key, value string) string {
+	var b strings.Builder
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteString(`"`)
+	return b.String()
+}
+
+// MergeLabels injects a label list into a series name, merging with any
+// labels the name already carries.
+func MergeLabels(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + labels + "}"
+	}
+	return name + "{" + labels + "}"
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, with families sorted by name for deterministic output.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type series struct {
+		name  string
+		value string
+	}
+	families := map[string][]series{}
+	types := map[string]string{}
+	addSeries := func(name, typ, value string) {
+		fam := family(name)
+		families[fam] = append(families[fam], series{name: name, value: value})
+		types[fam] = typ
+	}
+	for name, v := range s.Counters {
+		addSeries(name, "counter", fmt.Sprintf("%d", v))
+	}
+	for name, v := range s.Gauges {
+		addSeries(name, "gauge", formatFloat(v))
+	}
+	for name, h := range s.Histograms {
+		fam := family(name)
+		types[fam] = "histogram"
+		cum := 0.0
+		for i, b := range h.Bounds {
+			cum += h.Weights[i]
+			le := Label("le", formatFloat(b))
+			families[fam] = append(families[fam], series{
+				name:  MergeLabels(fam+"_bucket", mergeNameLabels(name, le)),
+				value: formatFloat(cum),
+			})
+		}
+		cum += h.Weights[len(h.Bounds)]
+		families[fam] = append(families[fam], series{
+			name:  MergeLabels(fam+"_bucket", mergeNameLabels(name, Label("le", "+Inf"))),
+			value: formatFloat(cum),
+		})
+		families[fam] = append(families[fam],
+			series{name: strings.Replace(name, fam, fam+"_sum", 1), value: formatFloat(h.Sum)},
+			series{name: strings.Replace(name, fam, fam+"_count", 1), value: formatFloat(h.Total)},
+		)
+	}
+	names := make([]string, 0, len(families))
+	for fam := range families {
+		names = append(names, fam)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, types[fam]); err != nil {
+			return err
+		}
+		ss := families[fam]
+		sort.Slice(ss, func(a, b int) bool { return ss[a].name < ss[b].name })
+		for _, x := range ss {
+			if _, err := fmt.Fprintf(w, "%s %s\n", x.name, x.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeNameLabels extracts the label list of a series name and appends
+// extra, returning a label list (for re-merging under a derived family
+// name such as fam_bucket).
+func mergeNameLabels(name, extra string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		inner := strings.TrimSuffix(name[i+1:], "}")
+		if inner == "" {
+			return extra
+		}
+		return inner + "," + extra
+	}
+	return extra
+}
+
+func formatFloat(x float64) string {
+	if math.IsInf(x, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

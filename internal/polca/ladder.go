@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"polca/internal/cluster"
+	"polca/internal/obs"
 	"polca/internal/sim"
 	"polca/internal/workload"
 )
@@ -94,17 +95,34 @@ func (l *Ladder) Rungs() []Rung {
 	return append([]Rung(nil), l.rungs...)
 }
 
+// emitRung traces one rung transition; Pool and MHz carry the rung's
+// target so a trace distinguishes same-trigger rungs.
+func (l *Ladder) emitRung(act cluster.Actuator, now sim.Time, r Rung, reason string, util float64) {
+	tr := act.Observer().Trace()
+	if tr == nil {
+		return
+	}
+	tr.Emit(obs.Event{
+		At: now, Kind: obs.KindThreshold, Server: -1, Pool: int8(r.Pool),
+		MHz: r.LockMHz, Value: util, Reason: reason, Label: l.name,
+	})
+}
+
 // OnTelemetry implements cluster.Controller.
 func (l *Ladder) OnTelemetry(now sim.Time, util float64, act cluster.Actuator) {
 	for i, r := range l.rungs {
 		switch {
 		case util >= r.Trigger:
 			l.streak[i]++
-			if l.streak[i] > r.Delay {
+			if l.streak[i] > r.Delay && !l.engaged[i] {
 				l.engaged[i] = true
+				l.emitRung(act, now, r, "rung.engage", util)
 			}
 		case util < r.Trigger-r.Margin:
-			l.engaged[i] = false
+			if l.engaged[i] {
+				l.engaged[i] = false
+				l.emitRung(act, now, r, "rung.release", util)
+			}
 			l.streak[i] = 0
 		default:
 			// Inside the hysteresis band: hold state, reset the streak so

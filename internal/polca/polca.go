@@ -17,10 +17,26 @@ import (
 	"time"
 
 	"polca/internal/cluster"
+	"polca/internal/obs"
 	"polca/internal/sim"
 	"polca/internal/stats"
 	"polca/internal/workload"
 )
+
+// emitThreshold traces one policy threshold transition through the
+// actuator's observer. Reasons are static strings ("t1.engage",
+// "t2.hp.release") so emission never allocates; a disabled observer
+// returns before the event value is even built.
+func emitThreshold(act cluster.Actuator, now sim.Time, label, reason string, util float64) {
+	tr := act.Observer().Trace()
+	if tr == nil {
+		return
+	}
+	tr.Emit(obs.Event{
+		At: now, Kind: obs.KindThreshold, Server: -1, Pool: obs.PoolNone,
+		Value: util, Reason: reason, Label: label,
+	})
+}
 
 // Config parameterizes the dual-threshold policy. Utilizations are
 // fractions of the row's provisioned power.
@@ -112,30 +128,39 @@ func (p *Policy) OnTelemetry(now sim.Time, util float64, act cluster.Actuator) {
 		p.t2LPEngaged = true
 		p.t2Since = now
 		p.t2Armed = false
+		emitThreshold(act, now, p.Name(), "t2.lp.engage", util)
 	case util < c.T2-c.UncapMargin && p.t2LPEngaged:
 		p.t2LPEngaged = false
-		p.t2HPEngaged = false
+		emitThreshold(act, now, p.Name(), "t2.lp.release", util)
+		if p.t2HPEngaged {
+			p.t2HPEngaged = false
+			emitThreshold(act, now, p.Name(), "t2.hp.release", util)
+		}
 	}
 
 	// T2, high priority: only if utilization remains at T2 after the LP
 	// action had a chance to land (a later tick), to avoid touching
 	// high-priority workloads until absolutely necessary (§6.3).
 	if p.t2LPEngaged && util >= c.T2 {
-		if p.t2Armed {
+		if p.t2Armed && !p.t2HPEngaged {
 			p.t2HPEngaged = true
+			emitThreshold(act, now, p.Name(), "t2.hp.engage", util)
 		}
 		p.t2Armed = true
 	}
 	if p.t2HPEngaged && util < c.T2-c.UncapMargin {
 		p.t2HPEngaged = false
+		emitThreshold(act, now, p.Name(), "t2.hp.release", util)
 	}
 
 	// T1: engage at T1, release below T1 - margin.
 	switch {
 	case util >= c.T1 && !p.t1Engaged:
 		p.t1Engaged = true
+		emitThreshold(act, now, p.Name(), "t1.engage", util)
 	case util < c.T1-c.UncapMargin && p.t1Engaged:
 		p.t1Engaged = false
+		emitThreshold(act, now, p.Name(), "t1.release", util)
 	}
 
 	// Desired state for the pools.
@@ -189,8 +214,10 @@ func (s *SingleThreshold) OnTelemetry(now sim.Time, util float64, act cluster.Ac
 	switch {
 	case util >= s.Threshold && !s.engaged:
 		s.engaged = true
+		emitThreshold(act, now, s.Name(), "engage", util)
 	case util < s.Threshold-s.Margin && s.engaged:
 		s.engaged = false
+		emitThreshold(act, now, s.Name(), "release", util)
 	}
 	lock := 0.0
 	if s.engaged {

@@ -7,6 +7,7 @@ import (
 
 	"polca/internal/cluster"
 	"polca/internal/gpu"
+	"polca/internal/obs"
 	"polca/internal/polca"
 	"polca/internal/sim"
 	"polca/internal/stats"
@@ -17,6 +18,7 @@ import (
 // fakeActuator records the desired pool locks.
 type fakeActuator struct {
 	locks map[workload.Priority]float64
+	obs   *obs.Observer
 }
 
 func newFake() *fakeActuator {
@@ -26,6 +28,7 @@ func newFake() *fakeActuator {
 func (f *fakeActuator) SetPoolLock(p workload.Priority, mhz float64) { f.locks[p] = mhz }
 func (f *fakeActuator) PoolLock(p workload.Priority) float64         { return f.locks[p] }
 func (f *fakeActuator) GPUSpec() gpu.Spec                            { return gpu.A100SXM80GB() }
+func (f *fakeActuator) Observer() *obs.Observer                      { return f.obs }
 
 func tick(p cluster.Controller, act *fakeActuator, utils ...float64) {
 	now := sim.Time(0)

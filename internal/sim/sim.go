@@ -23,6 +23,8 @@ import (
 	"math/rand"
 	"strconv"
 	"time"
+
+	"polca/internal/obs"
 )
 
 // Time is an instant on the simulation clock, measured as a duration from
@@ -67,6 +69,13 @@ type Engine struct {
 	tombstones int // queued events whose timer has been stopped
 	seed       int64
 	running    bool
+
+	// Observability. The observer is injected by the run harness and handed
+	// down to every layer built on this engine; dispatched is cached at
+	// SetObserver time so the per-event cost with observability off is one
+	// nil-receiver branch (see BenchmarkTracerDisabled).
+	obs        *obs.Observer
+	dispatched *obs.Counter
 }
 
 // New returns an Engine whose clock starts at zero and whose random streams
@@ -77,6 +86,19 @@ func New(seed int64) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetObserver attaches an observability sink to the engine. Layers built on
+// the engine (cluster rows, policies) read it back with Observer. A nil
+// observer (the default) disables all instrumentation. Observation never
+// perturbs simulation state: nothing reached through the observer touches
+// the engine's clock, queue, or random streams.
+func (e *Engine) SetObserver(o *obs.Observer) {
+	e.obs = o
+	e.dispatched = o.Counter("sim_events_dispatched_total")
+}
+
+// Observer returns the observer attached with SetObserver, or nil.
+func (e *Engine) Observer() *obs.Observer { return e.obs }
 
 // Seed returns the engine's root seed.
 func (e *Engine) Seed() int64 { return e.seed }
@@ -363,6 +385,7 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.at
+		e.dispatched.Inc()
 		ev.fn(ev.at)
 		return true
 	}
@@ -394,6 +417,7 @@ func (e *Engine) RunUntil(deadline Time) {
 			continue
 		}
 		e.now = ev.at
+		e.dispatched.Inc()
 		ev.fn(ev.at)
 	}
 	if deadline > e.now {

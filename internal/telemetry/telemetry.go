@@ -217,6 +217,9 @@ func (t *Timeline) SampleIntervalAvg(step, lag time.Duration, sel func(gpu.Count
 func AlignByPeak(a, b stats.Series) int {
 	ai := argmax(a.Values)
 	bi := argmax(b.Values)
+	if ai < 0 || bi < 0 {
+		return 0 // one series is empty; no peaks to align
+	}
 	if bi > ai {
 		return bi - ai
 	}
