@@ -1,10 +1,10 @@
 GO ?= go
 
 # ci is the tier-1 gate: static checks, a full build, the race-enabled test
-# suite (which exercises the parallel sweep executor), and a short substrate
-# benchmark smoke.
+# suite (which exercises the parallel sweep executor), a short substrate
+# benchmark smoke, a chaos smoke run, and a fault-spec fuzz smoke.
 .PHONY: ci
-ci: vet build test bench-smoke
+ci: vet build test bench-smoke chaos fuzz-smoke
 
 .PHONY: vet
 vet:
@@ -29,6 +29,22 @@ bench-smoke:
 .PHONY: bench
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# chaos is a short fault-sweep smoke: one day on a small row under the mixed
+# scenario with every degradation path armed. It exercises the injector, the
+# telemetry guard, the deadman watchdog, bounded retries, and stale-command
+# drops end to end; any panic or spec-parse regression fails the target.
+.PHONY: chaos
+chaos:
+	$(GO) run ./cmd/polca-sim -days 1 -servers 16 \
+		-faults "tdrop=0.05,tspike=0.02:0.5,tstuck=10h+30m,crash=6h+20,oobburst=11h+15m,kill=2@8h+1h,slow=2:1.5" \
+		-guard -watchdog 5 -oob-retries 8 -oob-backoff 4s -drop-stale
+
+# fuzz-smoke runs the fault-spec parser fuzzer briefly: round-trip and
+# never-panic properties over the DSL grammar.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzFaultSpec -fuzztime 10s ./internal/faults
 
 # cover writes a coverage profile across all packages and prints the
 # per-function tail plus the total.

@@ -221,7 +221,7 @@ func BenchmarkRowHour(b *testing.B) {
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		eng := sim.New(int64(i + 1))
-		row := cluster.NewRow(eng, cfg, polca.New(polca.DefaultConfig()))
+		row := cluster.MustRow(eng, cfg, polca.New(polca.DefaultConfig()))
 		m := row.Run(arrPlan)
 		if m.Util.Len() == 0 {
 			b.Fatal("no telemetry")

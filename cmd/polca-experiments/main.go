@@ -4,14 +4,16 @@
 //
 //	polca-experiments [-quick] [-seed N] [-eval-days N] [-sweep-days N]
 //	                  [-servers N] [-parallel N] [-only id1,id2] [-list]
-//	                  [-v] [-http :6060]
+//	                  [-faults SPEC] [-v] [-http :6060]
 //
 // Without -only it runs every registered experiment in paper order and
 // prints the reproduced rows. -quick scales horizons down for a fast pass.
 // -v logs each sweep grid point as the parallel executor completes it
 // (count/total, wall time, cache hits); -http serves live /metrics
 // (Prometheus text), /progress (JSON view of in-flight grid points), and
-// /debug/pprof while the suite runs. Neither perturbs results.
+// /debug/pprof while the suite runs. Neither perturbs results. -faults
+// overrides the figfault experiment's built-in chaos scenario with a
+// faults-package DSL spec; every other experiment runs fault-free.
 package main
 
 import (
@@ -39,6 +41,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	checkInsights := flag.Bool("insights", false, "verify the paper's nine insights and exit")
 	outDir := flag.String("out", "", "also write each experiment's data as JSON into this directory")
+	faultSpec := flag.String("faults", "", "override the figfault chaos scenario (faults package DSL)")
 	verbose := flag.Bool("v", false, "log each sweep grid point as it completes")
 	httpAddr := flag.String("http", "", "serve live /metrics, /progress, and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
@@ -79,6 +82,7 @@ func main() {
 		opts.RowServers = *servers
 	}
 	opts.Parallel = *parallel
+	opts.Faults = *faultSpec
 
 	if *verbose || *httpAddr != "" {
 		opts.Obs = &obs.Observer{Metrics: obs.NewRegistry()}

@@ -6,6 +6,18 @@
 //	polca-sim [-policy polca|1tl|1ta|nocap] [-added 0.30] [-days 7]
 //	          [-servers 40] [-intensity 1.0] [-lp 0.5] [-seed 1]
 //	          [-t1 0.80] [-t2 0.89] [-csv out.csv] [-parallel N]
+//	          [-faults SPEC] [-guard] [-watchdog N]
+//	          [-oob-retries N] [-oob-backoff D] [-drop-stale]
+//
+// Fault injection: -faults takes the faults package DSL (for example
+// "tdrop=0.05,crash=6h+20,oobburst=3h+15m,kill=2@8h+1h") and runs the same
+// deterministic simulation under that chaos scenario. -guard wraps the
+// policy in the telemetry validity layer (median filter, stuck-sensor
+// detection, fail-safe conservative cap), -watchdog N arms the row-side
+// deadman that self-caps after N silent controller epochs, the
+// -oob-retries/-oob-backoff pair bounds OOB command retries, and
+// -drop-stale discards in-flight cap commands superseded before landing.
+// All default to off, which reproduces the fault-free simulator exactly.
 //
 // -policy accepts a comma-separated list (e.g. "polca,nocap"); the
 // simulations then run concurrently, bounded by -parallel workers, and the
@@ -37,6 +49,7 @@ import (
 	"time"
 
 	"polca/internal/cluster"
+	"polca/internal/faults"
 	"polca/internal/obs"
 	"polca/internal/polca"
 	"polca/internal/sim"
@@ -52,6 +65,8 @@ type runOpts struct {
 	days         int
 	seed         int64
 	t1, t2       float64
+	guard        bool
+	faults       string // canonical DSL form, for reports and provenance
 	retrain      bool
 	reqs         []workload.Request // non-nil replays a recorded trace
 	csvPath      string
@@ -71,6 +86,12 @@ func main() {
 	t1 := flag.Float64("t1", 0.80, "POLCA T1 threshold")
 	t2 := flag.Float64("t2", 0.89, "POLCA T2 threshold")
 	csvPath := flag.String("csv", "", "write the utilization series to this CSV file")
+	faultSpec := flag.String("faults", "", "fault-injection scenario (faults package DSL, e.g. \"tdrop=0.05,crash=6h+20\")")
+	guard := flag.Bool("guard", false, "wrap the policy in the telemetry validity guard (filter + fail-safe cap)")
+	watchdog := flag.Int("watchdog", 0, "row deadman: self-cap after N silent controller epochs (0 = off)")
+	oobRetries := flag.Int("oob-retries", 0, "abandon an OOB cap target after N failed retries (0 = unlimited)")
+	oobBackoff := flag.Duration("oob-backoff", 0, "base exponential backoff between OOB retries (0 = next tick)")
+	dropStale := flag.Bool("drop-stale", false, "drop in-flight OOB commands superseded before landing (off = apply the outdated lock, the historical behaviour)")
 	retrain := flag.Bool("retrain", false, "print a threshold retraining recommendation after the run")
 	replay := flag.String("replay", "", "replay a request trace CSV (from polca-trace -requests) instead of generating arrivals")
 	parallel := flag.Int("parallel", 0, "max concurrent policy simulations (0 = GOMAXPROCS)")
@@ -85,6 +106,16 @@ func main() {
 	cfg.PowerIntensity = *intensity
 	cfg.LowPriorityFraction = *lpFrac
 	cfg.Seed = *seed
+	spec, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faults:", err)
+		os.Exit(1)
+	}
+	cfg.Faults = spec
+	cfg.WatchdogEpochs = *watchdog
+	cfg.OOBRetryBudget = *oobRetries
+	cfg.OOBRetryBackoff = *oobBackoff
+	cfg.DropStaleOOB = *dropStale
 
 	policies := strings.Split(*policy, ",")
 	for i, p := range policies {
@@ -143,7 +174,8 @@ func main() {
 		}
 		opts := runOpts{
 			policy: p, cfg: cfg, days: *days, seed: *seed,
-			t1: *t1, t2: *t2, retrain: *retrain, reqs: reqs,
+			t1: *t1, t2: *t2, guard: *guard, faults: spec.String(),
+			retrain: *retrain, reqs: reqs,
 			csvPath:      policyCSVPath(*csvPath, p, len(policies) > 1),
 			tracePath:    policyCSVPath(*tracePath, p, len(policies) > 1),
 			perfettoPath: policyCSVPath(*perfettoPath, p, len(policies) > 1),
@@ -204,6 +236,11 @@ func runOne(o runOpts) (string, error) {
 	default:
 		return "", fmt.Errorf("unknown policy %q", o.policy)
 	}
+	var guard *polca.Guard
+	if o.guard {
+		guard = polca.NewGuard(ctrl, polca.DefaultGuardConfig())
+		ctrl = guard
+	}
 
 	cfg := o.cfg
 	fitCfg := cfg
@@ -216,7 +253,10 @@ func runOne(o runOpts) (string, error) {
 	fmt.Fprintf(&b, "Simulating %d days: %d servers (%d base, +%.0f%%), policy %s, intensity %.2f\n",
 		o.days, cfg.Servers(), cfg.BaseServers, cfg.AddedFraction*100, ctrl.Name(), cfg.PowerIntensity)
 	start := time.Now()
-	row := cluster.NewRow(eng, cfg, ctrl)
+	row, err := cluster.NewRow(eng, cfg, ctrl)
+	if err != nil {
+		return "", err
+	}
 	var m *cluster.Metrics
 	if o.reqs != nil {
 		fmt.Fprintf(&b, "Replaying %d requests\n", len(o.reqs))
@@ -236,8 +276,24 @@ func runOne(o runOpts) (string, error) {
 	fmt.Fprintf(&b, "Utilization: mean %.1f%%, peak %.1f%%, max 2s rise %.1f%%, max 40s rise %.1f%%\n",
 		m.Util.Mean()*100, m.Util.Peak()*100,
 		m.Util.MaxRise(2*time.Second)*100, m.Util.MaxRise(40*time.Second)*100)
-	fmt.Fprintf(&b, "Power brakes: %d; OOB commands: %d (%d silent failures)\n\n",
+	fmt.Fprintf(&b, "Power brakes: %d; OOB commands: %d (%d silent failures)\n",
 		m.BrakeEvents, m.LockCommands, m.FailedCommands)
+	if o.faults != "" || o.guard || cfg.WatchdogEpochs > 0 || cfg.OOBRetryBudget > 0 || cfg.DropStaleOOB {
+		fmt.Fprintf(&b, "Degradation: %d stale drops, %d retries (%d exhausted), %d watchdog engagements, %d node deaths\n",
+			m.StaleOOBDrops, m.OOBRetries, m.OOBRetriesExhausted, m.WatchdogEngagements, m.NodeDeaths)
+	}
+	if o.faults != "" {
+		c := m.Faults
+		fmt.Fprintf(&b, "Injected [%s]: %d samples lost, %d stuck, %d spiked; %d crash epochs, %d missed ticks; %d burst fails; %d node deaths\n",
+			o.faults, c.TelemetryLost, c.TelemetryStuck, c.TelemetrySpiked,
+			c.CtrlCrashTicks, c.CtrlMissedTicks, c.OOBBurstFails, c.NodeDeaths)
+	}
+	if guard != nil {
+		g := guard.Stats()
+		fmt.Fprintf(&b, "Guard: %d delivered, %d outliers filtered, %d stuck ticks, %d lost ticks, %d fail-safe engagements\n",
+			g.Delivered, g.Outliers, g.StuckTicks, g.LostTicks, g.FailSafeEngagements)
+	}
+	fmt.Fprintln(&b)
 
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n", "Priority", "served", "dropped", "p50 (s)", "p99 (s)", "max (s)", "req/srv/h")
 	for _, pri := range []workload.Priority{workload.Low, workload.High} {
@@ -281,8 +337,10 @@ func runOne(o runOpts) (string, error) {
 }
 
 // provenance assembles the run parameters stamped onto result files.
+// Hardening keys appear only when the corresponding feature is on, so a
+// fault-free run's output stays byte-identical to the pre-hardening tool.
 func (o runOpts) provenance(policyName string) obs.Provenance {
-	return obs.Provenance{
+	p := obs.Provenance{
 		"tool":      "polca-sim",
 		"policy":    policyName,
 		"seed":      o.seed,
@@ -296,6 +354,19 @@ func (o runOpts) provenance(policyName string) obs.Provenance {
 		"t2":        o.t2,
 		"git":       obs.GitDescribe(),
 	}
+	if o.faults != "" {
+		p["faults"] = o.faults
+	}
+	if o.guard {
+		p["guard"] = true
+	}
+	if o.cfg.WatchdogEpochs > 0 {
+		p["watchdog"] = o.cfg.WatchdogEpochs
+	}
+	if o.cfg.DropStaleOOB {
+		p["dropstale"] = true
+	}
+	return p
 }
 
 // writeTrace streams a tracer export to a file.

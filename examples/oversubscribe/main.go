@@ -26,7 +26,7 @@ func run(added float64, ctrl cluster.Controller, seed int64) *cluster.Metrics {
 	if err != nil {
 		log.Fatal(err)
 	}
-	return cluster.NewRow(eng, cfg, ctrl).Run(plan.Scale(1 + added))
+	return cluster.MustRow(eng, cfg, ctrl).Run(plan.Scale(1 + added))
 }
 
 func main() {

@@ -35,7 +35,10 @@ func main() {
 	plan = plan.Scale(1 + cfg.AddedFraction)
 
 	// 3. Attach POLCA (Table 5's dual-threshold policy) and run.
-	row := cluster.NewRow(eng, cfg, polca.New(polca.DefaultConfig()))
+	row, err := cluster.NewRow(eng, cfg, polca.New(polca.DefaultConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
 	m := row.Run(plan)
 
 	// 4. Report.

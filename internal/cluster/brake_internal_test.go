@@ -1,0 +1,114 @@
+package cluster
+
+// White-box tests for brakeLogic's edge cases (§6.2's safety net): the
+// engage latency, the minimum hold, and the hysteresis release interact in
+// ways the black-box run tests cannot pin down tick by tick.
+
+import (
+	"testing"
+	"time"
+
+	"polca/internal/sim"
+)
+
+type idleCtrl struct{}
+
+func (idleCtrl) Name() string                                         { return "idle" }
+func (idleCtrl) OnTelemetry(now sim.Time, util float64, act Actuator) {}
+
+// newBrakeRow builds a small row without starting its telemetry loop, so
+// the test drives brakeLogic directly at controlled simulated times.
+func newBrakeRow(t *testing.T) (*sim.Engine, *Row) {
+	t.Helper()
+	cfg := Production()
+	cfg.BaseServers = 4
+	eng := sim.New(1)
+	row, err := NewRow(eng, cfg, idleCtrl{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, row
+}
+
+// at schedules one brakeLogic evaluation at an absolute simulated time,
+// the way the telemetry tick would deliver it.
+func at(eng *sim.Engine, when time.Duration, row *Row, util float64) {
+	eng.At(sim.Time(when), func(now sim.Time) { row.brakeLogic(util) })
+}
+
+// TestBrakeEngagesDespiteDipWhilePending: utilization drops below the
+// release threshold while the engage is still in flight (brakePending).
+// The operator pulled the lever; the brake lands anyway — the pending
+// engage is not cancelable, which is the conservative choice for a safety
+// mechanism triggered by a breach.
+func TestBrakeEngagesDespiteDipWhilePending(t *testing.T) {
+	eng, row := newBrakeRow(t)
+	at(eng, 2*time.Second, row, row.cfg.BrakeUtil) // breach: pending engage
+	at(eng, 4*time.Second, row, 0.10)              // dip below release while pending
+	eng.RunUntil(sim.Time(4 * time.Second))
+	if row.braked || !row.brakePending {
+		t.Fatal("brake should still be pending, not engaged or canceled")
+	}
+	eng.RunUntil(sim.Time(10 * time.Second))
+	if !row.braked {
+		t.Error("pending brake should engage after BrakeLatency despite the dip")
+	}
+	if row.metrics.BrakeEvents != 1 {
+		t.Errorf("BrakeEvents = %d, want 1", row.metrics.BrakeEvents)
+	}
+}
+
+// TestBrakeNoRetriggerDuringHold: a second breach while the brake is
+// already engaged (or pending) must not start a second engagement.
+func TestBrakeNoRetriggerDuringHold(t *testing.T) {
+	eng, row := newBrakeRow(t)
+	at(eng, 2*time.Second, row, row.cfg.BrakeUtil)  // breach
+	at(eng, 4*time.Second, row, row.cfg.BrakeUtil)  // re-breach while pending
+	at(eng, 10*time.Second, row, row.cfg.BrakeUtil) // re-breach while engaged, in hold
+	at(eng, 20*time.Second, row, row.cfg.BrakeUtil) // still in hold
+	eng.RunUntil(sim.Time(20 * time.Second))
+	if !row.braked {
+		t.Fatal("brake should be engaged")
+	}
+	if row.metrics.BrakeEvents != 1 {
+		t.Errorf("BrakeEvents = %d, want 1 (no re-trigger during hold)", row.metrics.BrakeEvents)
+	}
+	// High utilization past the hold keeps it engaged too: release needs
+	// the hysteresis threshold, not just the hold expiring.
+	held := row.brakeHeld
+	at(eng, time.Duration(held)+2*time.Second, row, row.cfg.BrakeUtil)
+	eng.RunUntil(held + sim.Time(2*time.Second))
+	if !row.braked {
+		t.Error("brake should stay engaged while utilization is above release")
+	}
+}
+
+// TestBrakeReleasesExactlyAtHoldExpiry: the hold boundary is inclusive —
+// a below-threshold reading arriving exactly at brakeHeld releases.
+func TestBrakeReleasesExactlyAtHoldExpiry(t *testing.T) {
+	eng, row := newBrakeRow(t)
+	at(eng, 2*time.Second, row, row.cfg.BrakeUtil)
+	eng.RunUntil(sim.Time(10 * time.Second))
+	if !row.braked {
+		t.Fatal("precondition: brake engaged")
+	}
+	held := row.brakeHeld
+	if held != sim.Time(2*time.Second)+sim.Time(row.cfg.BrakeLatency)+sim.Time(row.cfg.BrakeHold) {
+		t.Fatalf("brakeHeld = %v, want trigger + latency + hold", held)
+	}
+	// One tick before the boundary: low utilization must NOT release.
+	at(eng, time.Duration(held)-2*time.Second, row, 0.10)
+	eng.RunUntil(held - sim.Time(2*time.Second))
+	if !row.braked {
+		t.Fatal("brake released before the hold expired")
+	}
+	// Exactly at the boundary: releases (>=, not >).
+	at(eng, time.Duration(held), row, 0.10)
+	eng.RunUntil(held)
+	if row.braked {
+		t.Error("brake should release exactly at brakeHeld")
+	}
+	if row.brakePending {
+		t.Error("no engage should be pending after release")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"time"
 
+	"polca/internal/faults"
 	"polca/internal/gpu"
 	"polca/internal/llm"
 	"polca/internal/obs"
@@ -73,6 +74,40 @@ type RowConfig struct {
 	// PowerIntensity scales GPU power draw (1.05 models workloads becoming
 	// 5% more power-intensive than profiled, §6.6).
 	PowerIntensity float64
+
+	// Faults configures deterministic fault injection (zero value = no
+	// faults); see the faults package for the scenario DSL. Injection draws
+	// only from its own named random streams, so a disabled spec leaves the
+	// simulation byte-identical.
+	Faults faults.Spec
+
+	// WatchdogEpochs arms the row-side deadman watchdog: after this many
+	// consecutive telemetry epochs without controller contact the row
+	// self-caps both pools at the watchdog clocks. 0 disables (the
+	// pre-hardening behaviour).
+	WatchdogEpochs int
+	// WatchdogLPMHz and WatchdogHPMHz are the watchdog's conservative
+	// self-cap clocks; zero values default to the Table 5 deep caps
+	// (1110 MHz low priority, 1305 MHz high priority).
+	WatchdogLPMHz float64
+	WatchdogHPMHz float64
+
+	// OOBRetryBudget bounds how many times one desired-lock change may be
+	// issued to a server before the row stops retrying it (0 = retry
+	// forever, the pre-hardening behaviour).
+	OOBRetryBudget int
+	// OOBRetryBackoff delays each re-issue after a failed command, doubling
+	// per consecutive failure of the same target (0 = re-issue on the next
+	// telemetry tick).
+	OOBRetryBackoff time.Duration
+
+	// DropStaleOOB makes the row discard an in-flight command whose target
+	// was superseded before it landed, instead of applying the outdated
+	// lock. Off (the default), a landed command applies whatever value it
+	// carried — what a BMC without sequence numbers does, and the paper
+	// figures' historical behaviour. The hardened configurations turn this
+	// on so a revoked decision can never actuate late.
+	DropStaleOOB bool
 
 	// Seed drives all of the row's randomness.
 	Seed int64
@@ -227,6 +262,17 @@ func (c RowConfig) Validate() error {
 		return fmt.Errorf("cluster: bad brake thresholds")
 	case c.PowerIntensity <= 0:
 		return fmt.Errorf("cluster: bad power intensity")
+	case c.WatchdogEpochs < 0:
+		return fmt.Errorf("cluster: negative watchdog epochs")
+	case c.WatchdogLPMHz < 0 || c.WatchdogHPMHz < 0:
+		return fmt.Errorf("cluster: negative watchdog clock")
+	case c.OOBRetryBudget < 0:
+		return fmt.Errorf("cluster: negative OOB retry budget")
+	case c.OOBRetryBackoff < 0:
+		return fmt.Errorf("cluster: negative OOB retry backoff")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	if err := workload.Validate(c.Classes); err != nil {
 		return err
@@ -261,6 +307,25 @@ type Controller interface {
 	OnTelemetry(now sim.Time, util float64, act Actuator)
 }
 
+// Restartable is an optional Controller extension. Reset returns the
+// controller to its cold-start state; the row invokes it when a crashed
+// controller restarts, modelling a process restart that loses all
+// hysteresis and engagement state.
+type Restartable interface {
+	Reset()
+}
+
+// TelemetryLossAware is an optional Controller extension. On epochs where
+// the telemetry sample was lost (dropout or blackout), the row invokes
+// OnTelemetryLoss instead of OnTelemetry, so hardened controllers can
+// track staleness and apply fail-safe caps instead of flying blind.
+// Controllers without it simply see no callback on lost epochs — which the
+// deadman watchdog treats as controller silence.
+type TelemetryLossAware interface {
+	Controller
+	OnTelemetryLoss(now sim.Time, act Actuator)
+}
+
 // Metrics aggregates one simulation run.
 type Metrics struct {
 	Config      RowConfig
@@ -285,6 +350,22 @@ type Metrics struct {
 	FailedCommands int
 	// MaxQueueLen is the deepest central spillover queue observed.
 	MaxQueueLen int
+
+	// Degraded-mode accounting (all zero on a healthy, unhardened run).
+	// StaleOOBDrops counts in-flight commands discarded at landing because
+	// the desired lock changed while they were in flight.
+	StaleOOBDrops int
+	// OOBRetries counts re-issues of a desired lock after a failed or
+	// dropped command; OOBRetriesExhausted counts targets abandoned after
+	// the retry budget ran out.
+	OOBRetries          int
+	OOBRetriesExhausted int
+	// WatchdogEngagements counts deadman-watchdog self-caps.
+	WatchdogEngagements int
+	// NodeDeaths counts server down-transitions from injected kill windows.
+	NodeDeaths int
+	// Faults tallies what the injector actually injected during the run.
+	Faults faults.Counts
 }
 
 // Throughput returns completed requests per server-second for the pool.
@@ -305,6 +386,18 @@ type node struct {
 	desiredLock float64
 	appliedLock float64
 	cmdInFlight bool
+
+	// dead marks the node as inside an injected kill window: it draws no
+	// power, serves nothing, and revives cold when the window ends.
+	dead bool
+
+	// Retry bookkeeping for the current desired-lock target: how many
+	// commands were issued for it, the backoff gate, and whether the retry
+	// budget is exhausted. All reset when the desired lock changes.
+	retryTarget float64
+	retryCount  int
+	retryWait   sim.Time
+	retryDead   bool
 
 	active *activeReq
 }
@@ -354,6 +447,20 @@ type Row struct {
 	brakePending bool
 	brakeHeld    sim.Time // earliest release time
 
+	// Fault-injection runtime (nil = no faults) and degraded-mode state.
+	inj *faults.Injector
+	// lastReading is the previous telemetry value delivered to the
+	// controller, which stuck-at windows repeat.
+	lastReading float64
+	haveReading bool
+	// ctrlDown tracks an in-progress controller crash; ctrlSilent counts
+	// consecutive epochs without controller contact (for the watchdog).
+	ctrlDown        bool
+	ctrlSilent      int
+	watchdogEngaged bool
+	wdLPMHz         float64
+	wdHPMHz         float64
+
 	telemetryTick sim.Timer
 	telemetrySub  sim.Timer
 
@@ -375,11 +482,14 @@ type Row struct {
 	cmdsInFlight int
 }
 
-// NewRow builds a row on the engine with the given policy. It panics on an
-// invalid configuration (construction is programmer-controlled).
-func NewRow(eng *sim.Engine, cfg RowConfig, ctrl Controller) *Row {
+// NewRow builds a row on the engine with the given policy. It returns an
+// error for an invalid configuration — configurations reach this point from
+// CLI flags and experiment specs, so rejecting them is the library's job,
+// not a crash. A nil controller remains a panic: no caller constructs one
+// dynamically.
+func NewRow(eng *sim.Engine, cfg RowConfig, ctrl Controller) (*Row, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if ctrl == nil {
 		panic("cluster: nil controller")
@@ -446,6 +556,27 @@ func NewRow(eng *sim.Engine, cfg RowConfig, ctrl Controller) *Row {
 		r.lockCmdCtr = o.Counter("row_oob_commands_total")
 		r.failedCmdCtr = o.Counter("row_oob_failures_total")
 		r.brakeCtr = o.Counter("row_brake_events_total")
+	}
+	// The injector is nil for an empty spec, so the unfaulted hot paths pay
+	// one branch. Its streams are named, independent draws from the engine:
+	// creating them perturbs nothing.
+	r.inj = faults.New(cfg.Faults, total, eng.Rand)
+	r.wdLPMHz, r.wdHPMHz = cfg.WatchdogLPMHz, cfg.WatchdogHPMHz
+	if r.wdLPMHz == 0 {
+		r.wdLPMHz = 1110
+	}
+	if r.wdHPMHz == 0 {
+		r.wdHPMHz = 1305
+	}
+	return r, nil
+}
+
+// MustRow is NewRow for programmatically built configurations known to be
+// valid (tests, examples, benchmarks); it panics on error.
+func MustRow(eng *sim.Engine, cfg RowConfig, ctrl Controller) *Row {
+	r, err := NewRow(eng, cfg, ctrl)
+	if err != nil {
+		panic(err)
 	}
 	return r
 }
@@ -527,6 +658,7 @@ func (r *Row) Run(arrivals trace.RatePlan) *Metrics {
 	r.stopTelemetry()
 	// Drain in-flight work so tail latencies are recorded.
 	r.eng.RunUntil(horizon + 30*time.Minute)
+	r.metrics.Faults = r.inj.Counts()
 	return r.metrics
 }
 
@@ -544,6 +676,7 @@ func (r *Row) startTelemetry() {
 		r.powerSamples++
 	})
 	r.telemetryTick = r.eng.EveryFrom(r.eng.Now()+r.cfg.TelemetryInterval, r.cfg.TelemetryInterval, func(now sim.Time) {
+		r.updateServerFaults(now)
 		util := r.instantUtilization(now)
 		if r.powerSamples > 0 {
 			util = r.powerSum / float64(r.powerSamples)
@@ -552,8 +685,10 @@ func (r *Row) startTelemetry() {
 		r.metrics.Util.Values = append(r.metrics.Util.Values, util)
 		r.utilGauge.Set(util)
 		r.utilHist.Observe(util, r.cfg.TelemetryInterval)
+		// The brake and the recorded utilization see the physical power: the
+		// UPS measures at the breaker, below every faultable sensor.
 		r.brakeLogic(util)
-		r.ctrl.OnTelemetry(now, util, r)
+		r.controllerTick(now, util)
 		r.pumpCommands(now)
 		r.tryAdmit(workload.Low, now)
 		r.tryAdmit(workload.High, now)
@@ -566,6 +701,138 @@ func (r *Row) startTelemetry() {
 func (r *Row) stopTelemetry() {
 	r.telemetryTick.Stop()
 	r.telemetrySub.Stop()
+}
+
+// controllerTick runs the control half of a telemetry epoch: it passes the
+// row reading through the fault model, delivers it to the controller (or
+// records controller silence), and drives the crash-recovery and deadman
+// paths. Without an injector it reduces to the single pre-hardening call.
+func (r *Row) controllerTick(now sim.Time, trueUtil float64) {
+	if r.inj == nil {
+		r.ctrl.OnTelemetry(now, trueUtil, r)
+		return
+	}
+	if r.inj.ControllerDown(now, r.cfg.TelemetryInterval) {
+		if !r.ctrlDown {
+			r.ctrlDown = true
+			if r.tracer != nil {
+				r.tracer.Emit(obs.Event{At: now, Kind: obs.KindCtrlCrash, Server: -1, Pool: obs.PoolNone})
+			}
+		}
+		r.controllerSilent(now)
+		return
+	}
+	if r.ctrlDown {
+		// The controller restarts cold: a real process restart loses every
+		// engaged threshold and hysteresis timer.
+		r.ctrlDown = false
+		if rs, ok := r.ctrl.(Restartable); ok {
+			rs.Reset()
+		}
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{At: now, Kind: obs.KindCtrlRestart, Server: -1, Pool: obs.PoolNone})
+		}
+	}
+	if r.inj.MissedTick() {
+		r.controllerSilent(now)
+		return
+	}
+	reading, ok := r.inj.Telemetry(now, trueUtil, r.lastReading, r.haveReading)
+	if !ok {
+		if la, aware := r.ctrl.(TelemetryLossAware); aware {
+			// The controller is alive and knows the sample is missing — that
+			// is contact, not silence.
+			r.controllerContact(now)
+			la.OnTelemetryLoss(now, r)
+		} else {
+			r.controllerSilent(now)
+		}
+		return
+	}
+	r.lastReading, r.haveReading = reading, true
+	r.controllerContact(now)
+	r.ctrl.OnTelemetry(now, reading, r)
+}
+
+// controllerContact resets the deadman counter and releases the watchdog:
+// the resumed controller reasserts its desired pool locks on this same
+// tick (every policy re-emits them unconditionally), superseding the
+// watchdog's conservative caps.
+func (r *Row) controllerContact(now sim.Time) {
+	r.ctrlSilent = 0
+	if r.watchdogEngaged {
+		r.watchdogEngaged = false
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{At: now, Kind: obs.KindWatchdogRelease, Server: -1, Pool: obs.PoolNone})
+		}
+	}
+}
+
+// controllerSilent records one epoch of controller silence and engages the
+// deadman watchdog once the configured patience runs out: with no policy
+// reacting to power, the row self-caps to the conservative clocks rather
+// than leaving oversubscribed servers uncapped until the brake fires.
+func (r *Row) controllerSilent(now sim.Time) {
+	r.ctrlSilent++
+	if r.cfg.WatchdogEpochs <= 0 || r.watchdogEngaged || r.ctrlSilent < r.cfg.WatchdogEpochs {
+		return
+	}
+	r.watchdogEngaged = true
+	r.metrics.WatchdogEngagements++
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{
+			At: now, Kind: obs.KindWatchdogEngage, Server: -1, Pool: obs.PoolNone,
+			Value: float64(r.ctrlSilent),
+		})
+	}
+	r.SetPoolLock(workload.Low, r.wdLPMHz)
+	r.SetPoolLock(workload.High, r.wdHPMHz)
+}
+
+// updateServerFaults applies node death and revival transitions at epoch
+// granularity. A dying node loses its active request (counted as dropped)
+// and draws no power; a reviving node comes back cold — clocks unlocked,
+// brake state resynced — and is re-capped through the normal OOB pipeline.
+func (r *Row) updateServerFaults(now sim.Time) {
+	if r.inj == nil {
+		return
+	}
+	for _, n := range r.nodes {
+		dead := r.inj.ServerDead(n.idx, now)
+		if dead == n.dead {
+			continue
+		}
+		if dead {
+			n.dead = true
+			r.inj.CountNodeDeath()
+			r.metrics.NodeDeaths++
+			if a := n.active; a != nil {
+				a.timer.Stop()
+				n.active = nil
+				r.busy[a.req.Priority]--
+				r.metrics.Dropped[a.req.Priority]++
+				r.droppedCtr[a.req.Priority].Inc()
+				if r.tracer != nil {
+					r.tracer.Emit(obs.Event{
+						At: now, Kind: obs.KindDrop, Server: int32(n.idx),
+						Pool: int8(a.req.Priority), Reason: "node-death",
+					})
+				}
+			}
+			if r.tracer != nil {
+				r.tracer.Emit(obs.Event{At: now, Kind: obs.KindNodeDeath, Server: int32(n.idx), Pool: int8(n.pri)})
+			}
+		} else {
+			n.dead = false
+			n.appliedLock = 0
+			n.dev.LockClock(0)
+			n.dev.SetBrake(r.braked)
+			n.retryTarget, n.retryCount, n.retryWait, n.retryDead = 0, 0, 0, false
+			if r.tracer != nil {
+				r.tracer.Emit(obs.Event{At: now, Kind: obs.KindNodeRevive, Server: int32(n.idx), Pool: int8(n.pri)})
+			}
+		}
+	}
 }
 
 // arrive admits one request: pick the pool proportionally to its size, draw
@@ -696,7 +963,7 @@ func (r *Row) tryAdmit(p workload.Priority, now sim.Time) {
 	for len(r.frontQ[p]) > 0 && r.busy[p] < limit {
 		var idle []*node
 		for _, n := range r.pools[p] {
-			if n.active == nil {
+			if n.active == nil && !n.dead {
 				idle = append(idle, n)
 			}
 		}
@@ -721,7 +988,18 @@ func (r *Row) start(n *node, now sim.Time, req workload.Request) {
 	if err != nil {
 		panic(err) // sizes come from validated classes
 	}
-	n.active = &activeReq{req: req, remaining: p.Phases(), started: now}
+	phases := p.Phases()
+	if f := r.inj.SlowFactor(n.idx); f > 1 {
+		// Straggler: the node takes f× the work per request (same power
+		// profile, stretched), like a host with a failing NVLink or thermal
+		// throttling the fleet hasn't drained yet.
+		scaled := make([]gpu.Phase, len(phases))
+		for i, ph := range phases {
+			scaled[i] = ph.Scale(f)
+		}
+		phases = scaled
+	}
+	n.active = &activeReq{req: req, remaining: phases, started: now}
 	r.busy[req.Priority]++
 	r.startPhase(n, now)
 }
@@ -801,6 +1079,9 @@ func (r *Row) replan(n *node, now sim.Time) {
 
 // nodePower returns the node's current server power draw.
 func (r *Row) nodePower(n *node, now sim.Time) float64 {
+	if n.dead {
+		return 0
+	}
 	var gpuW float64
 	if n.active != nil {
 		gpuW = n.active.exec.PowerAt(now - n.active.phaseStart)
@@ -868,9 +1149,23 @@ func (r *Row) brakeLogic(util float64) {
 // tick — the guardrail the paper says production deployment requires.
 func (r *Row) pumpCommands(now sim.Time) {
 	for _, n := range r.nodes {
-		if n.cmdInFlight || n.desiredLock == n.appliedLock {
+		if n.dead || n.cmdInFlight || n.desiredLock == n.appliedLock {
 			continue
 		}
+		// A new desired lock starts a fresh retry sequence.
+		if n.desiredLock != n.retryTarget || n.retryCount == 0 {
+			n.retryTarget = n.desiredLock
+			n.retryCount = 0
+			n.retryWait = 0
+			n.retryDead = false
+		}
+		if n.retryDead || now < n.retryWait {
+			continue
+		}
+		if n.retryCount > 0 {
+			r.metrics.OOBRetries++
+		}
+		n.retryCount++
 		n.cmdInFlight = true
 		r.metrics.LockCommands++
 		r.cmdsInFlight++
@@ -882,23 +1177,53 @@ func (r *Row) pumpCommands(now sim.Time) {
 				Server: int32(n.idx), Pool: int8(n.pri), MHz: target,
 			})
 		}
+		// A burst window dooms the command at issue time (it still consumes
+		// the channel for its full flight, like §3.3's silent failures).
+		doomed := r.inj.OOBBurstFailure(now)
 		jitter := 0.8 + 0.4*r.oobRNG.Float64()
-		delay := time.Duration(float64(r.cfg.OOBLatency) * jitter)
+		delay := r.inj.OOBLatency(time.Duration(float64(r.cfg.OOBLatency) * jitter))
 		node := n
 		r.eng.After(delay, func(t sim.Time) {
 			node.cmdInFlight = false
 			r.cmdsInFlight--
-			if r.oobRNG.Float64() < r.cfg.OOBFailureProb {
+			// The baseline failure draw comes first unconditionally so the
+			// oob stream's consumption is identical with injection off.
+			reason := ""
+			switch {
+			case r.oobRNG.Float64() < r.cfg.OOBFailureProb:
+				reason = "silent-failure"
+			case doomed:
+				reason = "burst-failure"
+			case node.dead:
+				reason = "node-dead"
+			}
+			if reason != "" {
 				r.metrics.FailedCommands++
 				r.failedCmdCtr.Inc()
 				if r.tracer != nil {
 					r.tracer.Emit(obs.Event{
 						At: t, Kind: obs.KindOOBFail,
 						Server: int32(node.idx), Pool: int8(node.pri), MHz: target,
-						Reason: "silent-failure",
+						Reason: reason,
 					})
 				}
+				r.retryAccounting(node, target, t)
 				return // silent failure; re-issued on a later tick
+			}
+			if r.cfg.DropStaleOOB && node.desiredLock != target {
+				// The desired lock changed while this command was in flight:
+				// applying it would actuate a decision the policy already
+				// revoked (possibly *uncapping* a row the policy wants
+				// capped). Drop it; the pump re-issues the current target.
+				r.metrics.StaleOOBDrops++
+				if r.tracer != nil {
+					r.tracer.Emit(obs.Event{
+						At: t, Kind: obs.KindOOBStale,
+						Server: int32(node.idx), Pool: int8(node.pri), MHz: target,
+						Value: node.desiredLock, Reason: "superseded",
+					})
+				}
+				return
 			}
 			node.appliedLock = target
 			node.dev.LockClock(target)
@@ -915,5 +1240,35 @@ func (r *Row) pumpCommands(now sim.Time) {
 			r.replan(node, t)
 			r.tryAdmit(node.pri, t)
 		})
+	}
+}
+
+// retryAccounting applies the bounded-retry policy after a failed command:
+// exponential backoff before the next issue and a hard budget after which
+// the target is abandoned (the watchdog and brake still backstop safety).
+// With both knobs at zero — the default — this is a no-op and failed
+// commands re-issue on the next tick, the pre-hardening behaviour.
+func (r *Row) retryAccounting(n *node, target float64, t sim.Time) {
+	if n.retryTarget != target {
+		return // the desired lock moved on; this sequence is obsolete
+	}
+	if r.cfg.OOBRetryBudget > 0 && n.retryCount >= r.cfg.OOBRetryBudget {
+		n.retryDead = true
+		r.metrics.OOBRetriesExhausted++
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{
+				At: t, Kind: obs.KindOOBFail,
+				Server: int32(n.idx), Pool: int8(n.pri), MHz: target,
+				Reason: "retry-exhausted",
+			})
+		}
+		return
+	}
+	if r.cfg.OOBRetryBackoff > 0 {
+		shift := n.retryCount - 1
+		if shift > 6 {
+			shift = 6 // cap the doubling at 64× the base backoff
+		}
+		n.retryWait = t + r.cfg.OOBRetryBackoff<<shift
 	}
 }

@@ -52,7 +52,7 @@ func flatPlan(cfg cluster.RowConfig, busy float64, horizon time.Duration) trace.
 func runRow(t *testing.T, cfg cluster.RowConfig, ctrl cluster.Controller, plan trace.RatePlan) *cluster.Metrics {
 	t.Helper()
 	eng := sim.New(cfg.Seed)
-	row := cluster.NewRow(eng, cfg, ctrl)
+	row := cluster.MustRow(eng, cfg, ctrl)
 	return row.Run(plan)
 }
 
@@ -181,7 +181,7 @@ func TestOOBPipelineLatency(t *testing.T) {
 	cfg.OOBFailureProb = 0 // deterministic application
 	ctrl := &recordingCtrl{lockLP: 1110, applyAt: 0}
 	eng := sim.New(1)
-	row := cluster.NewRow(eng, cfg, ctrl)
+	row := cluster.MustRow(eng, cfg, ctrl)
 
 	// Run a short plan, then verify locks were applied (end state) and
 	// that commands were counted.
@@ -210,7 +210,7 @@ func TestOOBFailuresRetried(t *testing.T) {
 	cfg.OOBFailureProb = 0.5 // very lossy
 	ctrl := &recordingCtrl{lockLP: 1110, applyAt: 0}
 	eng := sim.New(3)
-	row := cluster.NewRow(eng, cfg, ctrl)
+	row := cluster.MustRow(eng, cfg, ctrl)
 	met := row.Run(flatPlan(cfg, 0.5, 30*time.Minute))
 	if met.FailedCommands == 0 {
 		t.Error("expected some silent OOB failures")
@@ -307,18 +307,33 @@ func TestPoolSizes(t *testing.T) {
 	cfg := testConfig()
 	cfg.LowPriorityFraction = 0.25
 	eng := sim.New(1)
-	row := cluster.NewRow(eng, cfg, &recordingCtrl{})
+	row := cluster.MustRow(eng, cfg, &recordingCtrl{})
 	if row.PoolSize(workload.Low) != 2 || row.PoolSize(workload.High) != 6 {
 		t.Errorf("pool sizes = %d/%d, want 2/6",
 			row.PoolSize(workload.Low), row.PoolSize(workload.High))
 	}
 }
 
-func TestNewRowPanics(t *testing.T) {
+func TestNewRowInvalidConfig(t *testing.T) {
+	if _, err := cluster.NewRow(sim.New(1), cluster.RowConfig{}, &recordingCtrl{}); err == nil {
+		t.Error("invalid config should return an error")
+	}
+}
+
+func TestMustRowPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("invalid config should panic")
+			t.Error("MustRow with invalid config should panic")
 		}
 	}()
-	cluster.NewRow(sim.New(1), cluster.RowConfig{}, &recordingCtrl{})
+	cluster.MustRow(sim.New(1), cluster.RowConfig{}, &recordingCtrl{})
+}
+
+func TestNewRowNilControllerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil controller should panic (programmer error)")
+		}
+	}()
+	cluster.NewRow(sim.New(1), testConfig(), nil) //nolint:errcheck // panics before returning
 }

@@ -19,7 +19,7 @@ func runObservedRow(t *testing.T, cfg cluster.RowConfig, ctrl cluster.Controller
 	o := &obs.Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
 	eng := sim.New(cfg.Seed)
 	eng.SetObserver(o)
-	row := cluster.NewRow(eng, cfg, ctrl)
+	row := cluster.MustRow(eng, cfg, ctrl)
 	m := row.Run(flatPlan(cfg, busy, horizon))
 	return m, row, o
 }
@@ -36,16 +36,20 @@ func TestTraceReconcilesWithMetrics(t *testing.T) {
 		t.Fatal("expected capping traffic in an oversubscribed hot run")
 	}
 	// OOB pipeline: issues == LockCommands, fails == FailedCommands, and
-	// every issue either landed (apply/release), failed, or is in flight.
+	// every issue either landed (apply/release), failed, was dropped as
+	// stale (superseded while in flight), or is still in flight.
 	if got := tr.CountKind(obs.KindOOBIssue); got != m.LockCommands {
 		t.Errorf("oob.issue events = %d, LockCommands = %d", got, m.LockCommands)
 	}
 	if got := tr.CountKind(obs.KindOOBFail); got != m.FailedCommands {
 		t.Errorf("oob.fail events = %d, FailedCommands = %d", got, m.FailedCommands)
 	}
+	if got := tr.CountKind(obs.KindOOBStale); got != m.StaleOOBDrops {
+		t.Errorf("oob.stale events = %d, StaleOOBDrops = %d", got, m.StaleOOBDrops)
+	}
 	landed := tr.CountKind(obs.KindCapApply) + tr.CountKind(obs.KindCapRelease)
-	if got := landed + m.FailedCommands + row.InFlightCommands(); got != m.LockCommands {
-		t.Errorf("applies+releases+fails+inflight = %d, want %d issues", got, m.LockCommands)
+	if got := landed + m.FailedCommands + m.StaleOOBDrops + row.InFlightCommands(); got != m.LockCommands {
+		t.Errorf("applies+releases+fails+stale+inflight = %d, want %d issues", got, m.LockCommands)
 	}
 	// Request lifecycle per pool.
 	arrived, completed, dropped := 0, 0, 0

@@ -56,7 +56,7 @@ func TestRowInvariantsUnderRandomConfigs(t *testing.T) {
 		plan := trace.RatePlan{Bucket: time.Minute, Rates: rates, Shape: 1 + rng.Intn(32)}
 
 		eng := sim.New(seed)
-		row := cluster.NewRow(eng, cfg, &randomCtrl{rng: rand.New(rand.NewSource(seed + 1))})
+		row := cluster.MustRow(eng, cfg, &randomCtrl{rng: rand.New(rand.NewSource(seed + 1))})
 		m := row.Run(plan)
 
 		arrived := m.Arrived[workload.Low] + m.Arrived[workload.High]
@@ -112,7 +112,7 @@ func TestBusyConservation(t *testing.T) {
 	for i := range rates {
 		rates[i] = rate
 	}
-	row := cluster.NewRow(eng, cfg, &recordingCtrl{})
+	row := cluster.MustRow(eng, cfg, &recordingCtrl{})
 	m := row.Run(trace.RatePlan{Bucket: time.Minute, Rates: rates, Shape: 32})
 
 	for _, pri := range []workload.Priority{workload.Low, workload.High} {
@@ -140,7 +140,7 @@ func TestLatencyIncludesQueueing(t *testing.T) {
 		for i := range rates {
 			rates[i] = rate
 		}
-		row := cluster.NewRow(eng, cfg, &recordingCtrl{})
+		row := cluster.MustRow(eng, cfg, &recordingCtrl{})
 		m := row.Run(trace.RatePlan{Bucket: time.Minute, Rates: rates, Shape: 32})
 		return stats.Percentile(m.LatencySec[workload.High], 95)
 	}

@@ -76,6 +76,7 @@ func (r *Row) RunRequests(reqs []workload.Request, horizon time.Duration) *Metri
 	r.eng.RunUntil(horizon)
 	r.stopTelemetry()
 	r.eng.RunUntil(horizon + 30*time.Minute)
+	r.metrics.Faults = r.inj.Counts()
 	return r.metrics
 }
 

@@ -104,7 +104,7 @@ func TestRunRequestsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	replay := cluster.NewRow(sim.New(13), cfg, &recordingCtrl{}).RunRequests(reqs, horizon)
+	replay := cluster.MustRow(sim.New(13), cfg, &recordingCtrl{}).RunRequests(reqs, horizon)
 	arrived := replay.Arrived[workload.Low] + replay.Arrived[workload.High]
 	completed := replay.Completed[workload.Low] + replay.Completed[workload.High]
 	dropped := replay.Dropped[workload.Low] + replay.Dropped[workload.High]
@@ -120,14 +120,14 @@ func TestRunRequestsReplay(t *testing.T) {
 
 	// Replay should be statistically indistinguishable from the online run
 	// at the same load (same mix and rates; different RNG interleaving).
-	online := cluster.NewRow(sim.New(13), cfg, &recordingCtrl{}).Run(plan)
+	online := cluster.MustRow(sim.New(13), cfg, &recordingCtrl{}).Run(plan)
 	or := online.Util.Mean()
 	rr := replay.Util.Mean()
 	if rr < or*0.9 || rr > or*1.1 {
 		t.Errorf("replay mean util %.3f far from online %.3f", rr, or)
 	}
 	// Determinism: replaying the same trace twice is bitwise identical.
-	again := cluster.NewRow(sim.New(13), cfg, &recordingCtrl{}).RunRequests(reqs, horizon)
+	again := cluster.MustRow(sim.New(13), cfg, &recordingCtrl{}).RunRequests(reqs, horizon)
 	for i := range replay.Util.Values {
 		if replay.Util.Values[i] != again.Util.Values[i] {
 			t.Fatal("replay not deterministic")

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"polca/internal/cluster"
+	"polca/internal/faults"
 	"polca/internal/polca"
 	"polca/internal/render"
 	"polca/internal/sim"
@@ -35,10 +36,27 @@ type rowSpec struct {
 	days      int
 	lpBaseMHz float64 // 0 = policy default
 	t1, t2    float64 // 0 = policy default
+
+	// Fault-experiment knobs (figfault); all zero for the paper figures,
+	// which keeps those rows byte-identical to the fault-free simulator.
+	faults       string        // canonical faults.Spec DSL, "" = none
+	guard        bool          // wrap the policy in the telemetry Guard
+	watchdog     int           // row deadman epochs, 0 = disabled
+	retryBudget  int           // bounded OOB retries, 0 = unlimited
+	retryBackoff time.Duration // OOB retry backoff, 0 = next tick
+	dropStale    bool          // drop superseded in-flight OOB commands
 }
 
 // buildController instantiates the policy named in the spec.
 func buildController(s rowSpec) cluster.Controller {
+	ctrl := buildBaseController(s)
+	if s.guard {
+		return polca.NewGuard(ctrl, polca.DefaultGuardConfig())
+	}
+	return ctrl
+}
+
+func buildBaseController(s rowSpec) cluster.Controller {
 	switch s.policy {
 	case "polca":
 		cfg := polca.DefaultConfig()
@@ -81,6 +99,17 @@ func runRowSpec(o Options, s rowSpec) (*cluster.Metrics, error) {
 		cfg.LowPriorityFraction = s.lpFrac
 	}
 	cfg.Seed = o.Seed
+	if s.faults != "" {
+		fs, err := faults.Parse(s.faults)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = fs
+	}
+	cfg.WatchdogEpochs = s.watchdog
+	cfg.OOBRetryBudget = s.retryBudget
+	cfg.OOBRetryBackoff = s.retryBackoff
+	cfg.DropStaleOOB = s.dropStale
 
 	// The trace is fitted against the *profiled* workload (intensity 1):
 	// POLCA's operators sized the policy before workloads drifted.
@@ -97,7 +126,10 @@ func runRowSpec(o Options, s rowSpec) (*cluster.Metrics, error) {
 	// Metrics only: per-request trace events from dozens of grid points
 	// would flood a sweep-level trace, but aggregate counters stay useful.
 	eng.SetObserver(o.Obs.MetricsOnly())
-	row := cluster.NewRow(eng, cfg, buildController(s))
+	row, err := cluster.NewRow(eng, cfg, buildController(s))
+	if err != nil {
+		return nil, err
+	}
 	return row.Run(plan), nil
 }
 

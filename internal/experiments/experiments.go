@@ -46,6 +46,11 @@ type Options struct {
 	// Progress, when non-nil, tracks grid points through the sweep executor
 	// for the -v log and the /progress endpoint.
 	Progress *obs.Progress
+
+	// Faults, when non-empty, replaces the figfault experiment's built-in
+	// intensity-1 chaos scenario with this faults-package DSL spec. Other
+	// experiments ignore it: the paper figures run fault-free.
+	Faults string
 }
 
 // DefaultOptions mirrors the paper's evaluation scale.

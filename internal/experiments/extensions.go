@@ -191,7 +191,10 @@ func runExtAware(o Options) (Result, error) {
 			return nil, err
 		}
 		eng := sim.New(o.Seed)
-		row := cluster.NewRow(eng, cfg, ctrl)
+		row, err := cluster.NewRow(eng, cfg, ctrl)
+		if err != nil {
+			return nil, err
+		}
 		return row.Run(arr.Scale(1.30)), nil
 	}
 	static, err := runWith(polca.New(polca.DefaultConfig()))
@@ -358,7 +361,10 @@ func runExtOOB(o Options) (Result, error) {
 			return Result{}, err
 		}
 		eng := sim.New(o.Seed)
-		row := cluster.NewRow(eng, cfg, polca.New(polca.DefaultConfig()))
+		row, err := cluster.NewRow(eng, cfg, polca.New(polca.DefaultConfig()))
+		if err != nil {
+			return Result{}, err
+		}
 		m := row.Run(arr.Scale(1.30))
 		rows = append(rows, OOBRow{
 			Latency: lat, Brakes: m.BrakeEvents, PeakUtil: m.Util.Peak(),
@@ -389,6 +395,9 @@ func simulateRowWith(o Options, pc polca.Config, added float64, days int) (*clus
 		return nil, err
 	}
 	eng := sim.New(o.Seed)
-	row := cluster.NewRow(eng, cfg, polca.New(pc))
+	row, err := cluster.NewRow(eng, cfg, polca.New(pc))
+	if err != nil {
+		return nil, err
+	}
 	return row.Run(arr.Scale(1 + added)), nil
 }

@@ -238,7 +238,10 @@ func insight9(seed int64) (Check, error) {
 	if err != nil {
 		return c, err
 	}
-	row := cluster.NewRow(eng, cfg, noCap{})
+	row, err := cluster.NewRow(eng, cfg, noCap{})
+	if err != nil {
+		return c, err
+	}
 	m := row.Run(arr)
 	inferPeak := m.Util.Peak()
 

@@ -69,24 +69,55 @@ const (
 	// the wall-clock seconds it took (cached points take ~0).
 	KindGridStart
 	KindGridDone
+	// KindOOBStale is an in-flight OOB command discarded at landing because
+	// the desired lock changed during its flight; MHz carries the stale
+	// target, Value the current desired lock.
+	KindOOBStale
+	// KindCtrlCrash and KindCtrlRestart bracket an injected controller
+	// outage (the controller restarts with cold state).
+	KindCtrlCrash
+	KindCtrlRestart
+	// KindWatchdogEngage and KindWatchdogRelease bracket the row-side
+	// deadman watchdog self-capping after controller silence; Value on
+	// engage is the silent-epoch count that tripped it.
+	KindWatchdogEngage
+	KindWatchdogRelease
+	// KindFailSafeEngage and KindFailSafeRelease bracket a controller-side
+	// telemetry-validity fail-safe (conservative caps while readings are
+	// stale or implausible); Reason carries the cause.
+	KindFailSafeEngage
+	KindFailSafeRelease
+	// KindNodeDeath and KindNodeRevive bracket an injected server-death
+	// window for one node.
+	KindNodeDeath
+	KindNodeRevive
 )
 
 var kindNames = [...]string{
-	KindNone:         "none",
-	KindThreshold:    "policy.threshold",
-	KindCapRequest:   "cap.request",
-	KindOOBIssue:     "oob.issue",
-	KindOOBFail:      "oob.fail",
-	KindCapApply:     "cap.apply",
-	KindCapRelease:   "cap.release",
-	KindArrive:       "req.arrive",
-	KindDrop:         "req.drop",
-	KindComplete:     "req.complete",
-	KindBrakeTrigger: "brake.trigger",
-	KindBrakeEngage:  "brake.engage",
-	KindBrakeRelease: "brake.release",
-	KindGridStart:    "grid.start",
-	KindGridDone:     "grid.done",
+	KindNone:            "none",
+	KindThreshold:       "policy.threshold",
+	KindCapRequest:      "cap.request",
+	KindOOBIssue:        "oob.issue",
+	KindOOBFail:         "oob.fail",
+	KindCapApply:        "cap.apply",
+	KindCapRelease:      "cap.release",
+	KindArrive:          "req.arrive",
+	KindDrop:            "req.drop",
+	KindComplete:        "req.complete",
+	KindBrakeTrigger:    "brake.trigger",
+	KindBrakeEngage:     "brake.engage",
+	KindBrakeRelease:    "brake.release",
+	KindGridStart:       "grid.start",
+	KindGridDone:        "grid.done",
+	KindOOBStale:        "oob.stale",
+	KindCtrlCrash:       "ctrl.crash",
+	KindCtrlRestart:     "ctrl.restart",
+	KindWatchdogEngage:  "watchdog.engage",
+	KindWatchdogRelease: "watchdog.release",
+	KindFailSafeEngage:  "failsafe.engage",
+	KindFailSafeRelease: "failsafe.release",
+	KindNodeDeath:       "node.death",
+	KindNodeRevive:      "node.revive",
 }
 
 // String returns the event kind's wire name ("cap.apply").

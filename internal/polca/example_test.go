@@ -27,7 +27,7 @@ func ExampleNew() {
 	}
 	arrivals := trace.RatePlan{Bucket: time.Minute, Rates: rates, Shape: 32}
 
-	row := cluster.NewRow(eng, cfg, polca.New(polca.DefaultConfig()))
+	row := cluster.MustRow(eng, cfg, polca.New(polca.DefaultConfig()))
 	m := row.Run(arrivals)
 
 	fmt.Printf("policy: %s\n", m.Policy)

@@ -145,6 +145,15 @@ func (l *Ladder) OnTelemetry(now sim.Time, util float64, act cluster.Actuator) {
 	}
 }
 
+// Reset implements cluster.Restartable: all rungs disengage and delayed
+// rungs need a fresh run of hot ticks.
+func (l *Ladder) Reset() {
+	for i := range l.engaged {
+		l.engaged[i] = false
+		l.streak[i] = 0
+	}
+}
+
 // Describe renders the ladder for operators.
 func (l *Ladder) Describe() string {
 	var b strings.Builder
@@ -164,4 +173,7 @@ func (l *Ladder) Describe() string {
 	return b.String()
 }
 
-var _ cluster.Controller = (*Ladder)(nil)
+var (
+	_ cluster.Controller  = (*Ladder)(nil)
+	_ cluster.Restartable = (*Ladder)(nil)
+)

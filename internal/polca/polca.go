@@ -184,6 +184,17 @@ func (p *Policy) Engaged() (t1, t2LP, t2HP bool) {
 	return p.t1Engaged, p.t2LPEngaged, p.t2HPEngaged
 }
 
+// Reset implements cluster.Restartable: a cold-restarted controller comes
+// back with no thresholds engaged and re-derives its state from the next
+// telemetry tick.
+func (p *Policy) Reset() {
+	p.t1Engaged = false
+	p.t2LPEngaged = false
+	p.t2HPEngaged = false
+	p.t2Since = 0
+	p.t2Armed = false
+}
+
 // SingleThreshold is the 1-Thresh baseline family: one trigger that locks
 // the selected pools straight to the deep frequency, with the same
 // hysteresis margin.
@@ -231,6 +242,9 @@ func (s *SingleThreshold) OnTelemetry(now sim.Time, util float64, act cluster.Ac
 	}
 }
 
+// Reset implements cluster.Restartable.
+func (s *SingleThreshold) Reset() { s.engaged = false }
+
 // NewSingleThresholdLowPri returns the paper's 1-Thresh-Low-Pri baseline.
 func NewSingleThresholdLowPri() *SingleThreshold {
 	return &SingleThreshold{Threshold: 0.89, Margin: 0.05, LockMHz: 1110}
@@ -253,6 +267,9 @@ func (NoCap) OnTelemetry(now sim.Time, util float64, act cluster.Actuator) {
 	act.SetPoolLock(workload.Low, 0)
 	act.SetPoolLock(workload.High, 0)
 }
+
+// Reset implements cluster.Restartable (stateless, so a no-op).
+func (NoCap) Reset() {}
 
 // TrainThresholds derives T1/T2 from a historical utilization trace
 // (§6.3/§6.5): T2 sits below the brake point by the largest power rise
@@ -277,7 +294,10 @@ func TrainThresholds(ref stats.Series, brakeUtil float64, oobLatency time.Durati
 }
 
 var (
-	_ cluster.Controller = (*Policy)(nil)
-	_ cluster.Controller = (*SingleThreshold)(nil)
-	_ cluster.Controller = NoCap{}
+	_ cluster.Controller  = (*Policy)(nil)
+	_ cluster.Controller  = (*SingleThreshold)(nil)
+	_ cluster.Controller  = NoCap{}
+	_ cluster.Restartable = (*Policy)(nil)
+	_ cluster.Restartable = (*SingleThreshold)(nil)
+	_ cluster.Restartable = NoCap{}
 )

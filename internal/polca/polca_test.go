@@ -231,8 +231,8 @@ func TestPolicyOnRowIntegration(t *testing.T) {
 		return trace.RatePlan{Bucket: time.Minute, Rates: rates, Shape: 32}
 	}
 
-	nocap := cluster.NewRow(sim.New(2), cfg, polca.NoCap{}).Run(mkPlan())
-	pol := cluster.NewRow(sim.New(2), cfg, polca.New(polca.DefaultConfig())).Run(mkPlan())
+	nocap := cluster.MustRow(sim.New(2), cfg, polca.NoCap{}).Run(mkPlan())
+	pol := cluster.MustRow(sim.New(2), cfg, polca.New(polca.DefaultConfig())).Run(mkPlan())
 
 	if pol.Util.Peak() >= nocap.Util.Peak() {
 		t.Errorf("POLCA peak %.3f should be below No-cap peak %.3f",

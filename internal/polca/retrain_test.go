@@ -126,7 +126,7 @@ func TestRetrainFromMetricsIntegration(t *testing.T) {
 	for i := range rates {
 		rates[i] = rate
 	}
-	row := cluster.NewRow(eng, cfg, polca.New(polca.DefaultConfig()))
+	row := cluster.MustRow(eng, cfg, polca.New(polca.DefaultConfig()))
 	m := row.Run(trace.RatePlan{Bucket: time.Minute, Rates: rates, Shape: 32})
 	rec := polca.RetrainFromMetrics(polca.DefaultConfig(), m)
 	if rec.Suggested.Validate() != nil {

@@ -189,4 +189,11 @@ func (w *WorkloadAware) OnTelemetry(now sim.Time, util float64, act cluster.Actu
 	w.inner.OnTelemetry(now, util, act)
 }
 
-var _ cluster.Controller = (*WorkloadAware)(nil)
+// Reset implements cluster.Restartable by restarting the tuned state
+// machine (the planned frequencies are configuration, not state).
+func (w *WorkloadAware) Reset() { w.inner.Reset() }
+
+var (
+	_ cluster.Controller  = (*WorkloadAware)(nil)
+	_ cluster.Restartable = (*WorkloadAware)(nil)
+)

@@ -95,7 +95,10 @@ func RunInference(cfg plan.InferenceConfig, knob Knob, warmup, n int, gap time.D
 		}
 		start := run.Timeline.End()
 		pe := dev.Run(prompt)
-		end := run.Timeline.Append(start, pe)
+		end, err := run.Timeline.Append(start, pe)
+		if err != nil {
+			return InferenceRun{}, err
+		}
 		if measured {
 			run.Spans = append(run.Spans, PhaseSpan{Name: "prompt", Request: req, From: start, To: end})
 		}
@@ -103,7 +106,10 @@ func RunInference(cfg plan.InferenceConfig, knob Knob, warmup, n int, gap time.D
 		if p.TokenSteps > 0 {
 			te = dev.Run(p.Token)
 			tstart := end
-			end = run.Timeline.Append(end, te)
+			end, err = run.Timeline.Append(end, te)
+			if err != nil {
+				return InferenceRun{}, err
+			}
 			if measured {
 				run.Spans = append(run.Spans, PhaseSpan{Name: "token", Request: req, From: tstart, To: end})
 			}
@@ -282,7 +288,9 @@ func RunTraining(cfg plan.TrainingConfig, knob Knob, n int) (TrainingRun, error)
 		for _, ph := range tr.Phases() {
 			e := dev.Run(ph)
 			total += e.Duration
-			run.Timeline.Append(run.Timeline.End(), e)
+			if _, err := run.Timeline.Append(run.Timeline.End(), e); err != nil {
+				return TrainingRun{}, err
+			}
 			allSegs = append(allSegs, e.Segments...)
 			if ph.Name == "sync" {
 				if p := e.MeanPower(); p < run.TroughWatts {

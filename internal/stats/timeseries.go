@@ -109,6 +109,38 @@ func (s Series) Slice(from, to time.Duration) Series {
 	return Series{Start: s.TimeAt(lo), Step: s.Step, Values: s.Values[lo:hi]}
 }
 
+// TimeAbove returns the total time the series spends strictly above the
+// limit, counting each sample as one step. With the limit set to the
+// brake threshold this is the breach-seconds safety metric of the fault
+// experiments.
+func (s Series) TimeAbove(limit float64) time.Duration {
+	n := 0
+	for _, v := range s.Values {
+		if v > limit {
+			n++
+		}
+	}
+	return time.Duration(n) * s.Step
+}
+
+// LongestRunAbove returns the duration of the longest consecutive run of
+// samples strictly above the limit — the worst single excursion, the
+// quantity the breaker's trip curve actually cares about.
+func (s Series) LongestRunAbove(limit float64) time.Duration {
+	best, run := 0, 0
+	for _, v := range s.Values {
+		if v > limit {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return time.Duration(best) * s.Step
+}
+
 // Peak returns the maximum sample value, or 0 for an empty series.
 func (s Series) Peak() float64 {
 	if len(s.Values) == 0 {

@@ -88,10 +88,13 @@ func (t *Timeline) End() time.Duration { return t.end }
 
 // Append adds an execution at the given start time (usually End() for
 // back-to-back phases) and returns the time it finishes. Appends must be
-// in non-decreasing start order; gaps are reported as idle.
-func (t *Timeline) Append(start time.Duration, e gpu.Exec) time.Duration {
+// in non-decreasing start order; gaps are reported as idle. An append
+// before the current end — possible when callers compute start times from
+// external input — is rejected with an error rather than corrupting the
+// piecewise-constant invariant.
+func (t *Timeline) Append(start time.Duration, e gpu.Exec) (time.Duration, error) {
 	if start < t.end {
-		panic(fmt.Sprintf("telemetry: append at %v before timeline end %v", start, t.end))
+		return t.end, fmt.Errorf("telemetry: append at %v before timeline end %v", start, t.end)
 	}
 	at := start
 	for _, s := range e.Segments {
@@ -104,7 +107,7 @@ func (t *Timeline) Append(start time.Duration, e gpu.Exec) time.Duration {
 	if at > t.end {
 		t.end = at
 	}
-	return at
+	return at, nil
 }
 
 // AppendIdle advances the timeline by d of idle time and returns the new end.

@@ -45,13 +45,23 @@ func TestTable1(t *testing.T) {
 	}
 }
 
+// mustAppend appends and fails the test on error.
+func mustAppend(t *testing.T, tl *Timeline, start time.Duration, e gpu.Exec) time.Duration {
+	t.Helper()
+	end, err := tl.Append(start, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
 func TestTimelineAppendAndAt(t *testing.T) {
 	tl := NewTimeline(idleCtr())
-	end := tl.Append(0, exec(400, time.Second))
+	end := mustAppend(t, tl, 0, exec(400, time.Second))
 	if end != time.Second {
 		t.Fatalf("end = %v", end)
 	}
-	end = tl.Append(end, exec(250, 2*time.Second))
+	end = mustAppend(t, tl, end, exec(250, 2*time.Second))
 	if end != 3*time.Second {
 		t.Fatalf("end = %v", end)
 	}
@@ -75,9 +85,9 @@ func TestTimelineAppendAndAt(t *testing.T) {
 
 func TestTimelineGapIsIdle(t *testing.T) {
 	tl := NewTimeline(idleCtr())
-	tl.Append(0, exec(400, time.Second))
+	mustAppend(t, tl, 0, exec(400, time.Second))
 	tl.AppendIdle(time.Second)
-	tl.Append(tl.End(), exec(300, time.Second))
+	mustAppend(t, tl, tl.End(), exec(300, time.Second))
 	if got := tl.At(1500 * time.Millisecond).PowerWatts; got != 82 {
 		t.Errorf("gap power = %v, want idle 82", got)
 	}
@@ -86,21 +96,26 @@ func TestTimelineGapIsIdle(t *testing.T) {
 	}
 }
 
-func TestAppendBackwardsPanics(t *testing.T) {
+func TestAppendBackwardsErrors(t *testing.T) {
 	tl := NewTimeline(idleCtr())
-	tl.Append(0, exec(400, time.Second))
-	defer func() {
-		if recover() == nil {
-			t.Error("overlapping append should panic")
-		}
-	}()
-	tl.Append(500*time.Millisecond, exec(100, time.Second))
+	mustAppend(t, tl, 0, exec(400, time.Second))
+	end, err := tl.Append(500*time.Millisecond, exec(100, time.Second))
+	if err == nil {
+		t.Fatal("overlapping append should error")
+	}
+	if end != time.Second {
+		t.Errorf("failed append moved the end to %v, want %v", end, time.Second)
+	}
+	// The timeline is unchanged: the original segment still reads through.
+	if got := tl.At(750 * time.Millisecond).PowerWatts; got != 400 {
+		t.Errorf("At after rejected append = %v, want 400", got)
+	}
 }
 
 func TestSampleInstant(t *testing.T) {
 	tl := NewTimeline(idleCtr())
-	tl.Append(0, exec(400, 250*time.Millisecond))
-	tl.Append(tl.End(), exec(200, 250*time.Millisecond))
+	mustAppend(t, tl, 0, exec(400, 250*time.Millisecond))
+	mustAppend(t, tl, tl.End(), exec(200, 250*time.Millisecond))
 	s := tl.SampleInstant(100*time.Millisecond, Power)
 	want := []float64{400, 400, 400, 200, 200}
 	if len(s.Values) != len(want) {
@@ -115,8 +130,8 @@ func TestSampleInstant(t *testing.T) {
 
 func TestMeanBetween(t *testing.T) {
 	tl := NewTimeline(idleCtr())
-	tl.Append(0, exec(400, time.Second))
-	tl.Append(tl.End(), exec(200, time.Second))
+	mustAppend(t, tl, 0, exec(400, time.Second))
+	mustAppend(t, tl, tl.End(), exec(200, time.Second))
 	got := tl.MeanBetween(500*time.Millisecond, 1500*time.Millisecond, Power)
 	if got != 300 {
 		t.Errorf("MeanBetween = %v, want 300", got)
@@ -141,7 +156,7 @@ func TestSampleIntervalAvgLag(t *testing.T) {
 		{Duration: 100 * time.Millisecond, Counters: gpu.Counters{PowerWatts: 400, SMActivity: 1}},
 		{Duration: 300 * time.Millisecond, Counters: gpu.Counters{PowerWatts: 0, SMActivity: 0}},
 	}, Duration: 500 * time.Millisecond}
-	tl.Append(0, spike)
+	mustAppend(t, tl, 0, spike)
 	step := 100 * time.Millisecond
 	power := tl.SampleInstant(step, Power)
 	sm := tl.SampleIntervalAvg(step, step, SMAct)
@@ -275,7 +290,7 @@ func TestSampleIntervalAvgLagBeyondWindow(t *testing.T) {
 	// A lag longer than the whole timeline means every sample's averaging
 	// window ends before t=0, so the counter only ever reports idle.
 	tl := NewTimeline(idleCtr())
-	tl.Append(0, exec(400, 500*time.Millisecond))
+	mustAppend(t, tl, 0, exec(400, 500*time.Millisecond))
 	step := 100 * time.Millisecond
 	s := tl.SampleIntervalAvg(step, time.Second, Power)
 	if len(s.Values) != 5 {
