@@ -4,11 +4,39 @@ GO ?= go
 # suite (which exercises the parallel sweep executor), a short substrate
 # benchmark smoke, a chaos smoke run, and a fault-spec fuzz smoke.
 .PHONY: ci
-ci: vet build test bench-smoke chaos fuzz-smoke
+ci: vet staticcheck rand-audit build test bench-smoke chaos fuzz-smoke
 
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs honnef.co/go/tools with zero findings required. The
+# binary is not vendored; the target is a no-op where it is not installed
+# (the GitHub workflow installs a pinned version, so CI always runs it).
+.PHONY: staticcheck
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
+
+# rand-audit fails if randomness-sensitive packages construct their own RNGs
+# instead of drawing from named sim.Engine.Rand streams. Direct rand.New /
+# rand.NewSource calls there would silently break byte-identical reruns;
+# this grep lint keeps new offenders out.
+.PHONY: rand-audit
+rand-audit:
+	@offenders=$$(grep -rn 'rand\.New\|rand\.NewSource' \
+		--include='*.go' internal/workload internal/serve \
+		| grep -v _test.go; true); \
+	if [ -n "$$offenders" ]; then \
+		echo "rand-audit: direct RNG construction in engine-seeded packages:"; \
+		echo "$$offenders"; \
+		echo "draw from sim.Engine.Rand(name) instead"; \
+		exit 1; \
+	fi; \
+	echo "rand-audit: clean"
 
 .PHONY: build
 build:
@@ -18,12 +46,13 @@ build:
 test:
 	$(GO) test -race -timeout 45m ./...
 
-# bench-smoke runs the engine and tracer micro-benchmarks briefly — enough to
-# catch an allocation regression on the event path or on the disabled
-# observability fast path without paying for a full run.
+# bench-smoke runs the engine, tracer, and serving-scheduler
+# micro-benchmarks briefly — enough to catch an allocation regression on the
+# event path, on the disabled observability fast path, or in the
+# continuous-batching iteration loop without paying for a full run.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Engine|Tracer' -benchmem -benchtime 200000x .
+	$(GO) test -run '^$$' -bench 'Engine|Tracer|Scheduler' -benchmem -benchtime 200000x . ./internal/serve
 
 # bench runs every benchmark, including full artifact regeneration.
 .PHONY: bench

@@ -8,6 +8,18 @@
 //	          [-t1 0.80] [-t2 0.89] [-csv out.csv] [-parallel N]
 //	          [-faults SPEC] [-guard] [-watchdog N]
 //	          [-oob-retries N] [-oob-backoff D] [-drop-stale]
+//	          [-serve] [-router round-robin|least-queue|least-kv|power-aware]
+//
+// Serving backend: -serve replaces the slot model (whole requests dispatched
+// to exclusive per-server slots) with the request-level serving engine —
+// continuous batching with chunked prefill, per-request KV-cache accounting,
+// preempt-with-recompute under HBM pressure, and per-iteration power
+// synthesized from each batch's prompt/decode mix. -router picks how
+// arrivals spread across replicas; power-aware steers low-priority work
+// toward frequency-capped servers. The report gains batch/preemption/KV
+// counters and per-class p99 TTFT (time-to-first-token) and TBT
+// (time-between-tokens) — the latencies that matter for interactive serving
+// and that the slot model cannot see.
 //
 // Fault injection: -faults takes the faults package DSL (for example
 // "tdrop=0.05,crash=6h+20,oobburst=3h+15m,kill=2@8h+1h") and runs the same
@@ -52,6 +64,7 @@ import (
 	"polca/internal/faults"
 	"polca/internal/obs"
 	"polca/internal/polca"
+	"polca/internal/serve"
 	"polca/internal/sim"
 	"polca/internal/stats"
 	"polca/internal/trace"
@@ -92,6 +105,8 @@ func main() {
 	oobRetries := flag.Int("oob-retries", 0, "abandon an OOB cap target after N failed retries (0 = unlimited)")
 	oobBackoff := flag.Duration("oob-backoff", 0, "base exponential backoff between OOB retries (0 = next tick)")
 	dropStale := flag.Bool("drop-stale", false, "drop in-flight OOB commands superseded before landing (off = apply the outdated lock, the historical behaviour)")
+	serveMode := flag.Bool("serve", false, "run the request-level serving backend (continuous batching + KV cache) instead of the slot model")
+	router := flag.String("router", "least-queue", "serve-mode routing policy ("+strings.Join(serve.RouterNames(), ", ")+")")
 	retrain := flag.Bool("retrain", false, "print a threshold retraining recommendation after the run")
 	replay := flag.String("replay", "", "replay a request trace CSV (from polca-trace -requests) instead of generating arrivals")
 	parallel := flag.Int("parallel", 0, "max concurrent policy simulations (0 = GOMAXPROCS)")
@@ -116,6 +131,9 @@ func main() {
 	cfg.OOBRetryBudget = *oobRetries
 	cfg.OOBRetryBackoff = *oobBackoff
 	cfg.DropStaleOOB = *dropStale
+	if *serveMode {
+		cfg.Serve = &serve.Config{Router: *router}
+	}
 
 	policies := strings.Split(*policy, ",")
 	for i, p := range policies {
@@ -252,6 +270,9 @@ func runOne(o runOpts) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Simulating %d days: %d servers (%d base, +%.0f%%), policy %s, intensity %.2f\n",
 		o.days, cfg.Servers(), cfg.BaseServers, cfg.AddedFraction*100, ctrl.Name(), cfg.PowerIntensity)
+	if cfg.Serve != nil {
+		fmt.Fprintf(&b, "Serving mode: continuous batching, router %s\n", cfg.Serve.Router)
+	}
 	start := time.Now()
 	row, err := cluster.NewRow(eng, cfg, ctrl)
 	if err != nil {
@@ -303,6 +324,23 @@ func runOne(o runOpts) (string, error) {
 			pri, m.Completed[pri], m.Dropped[pri],
 			stats.Percentile(lat, 50), stats.Percentile(lat, 99), stats.Percentile(lat, 100),
 			m.Throughput(pri, poolN)*3600)
+	}
+
+	if cfg.Serve != nil {
+		s := m.Serve
+		fmt.Fprintf(&b, "\nServe: %d batches, %d preemptions, peak batch %d, KV high water %.0f%%\n",
+			s.Batches, s.Preemptions, s.MaxRunning, s.KVHighWaterFrac*100)
+		fmt.Fprintf(&b, "Tokens: %d prompt, %d decode\n", s.PromptTokens, s.DecodeTokens)
+		fmt.Fprintf(&b, "%-12s %10s %12s %13s\n", "Class", "requests", "p99 TTFT (s)", "p99 TBT (ms)")
+		for _, name := range workload.Names(cfg.Classes) {
+			ttft := m.TTFTSec[name]
+			tbt := m.TBTSec[name]
+			if len(ttft) == 0 && len(tbt) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-12s %10d %12.2f %13.1f\n", name, len(tbt),
+				stats.Percentile(ttft, 99), stats.Percentile(tbt, 99)*1000)
+		}
 	}
 
 	if o.retrain {
@@ -365,6 +403,10 @@ func (o runOpts) provenance(policyName string) obs.Provenance {
 	}
 	if o.cfg.DropStaleOOB {
 		p["dropstale"] = true
+	}
+	if o.cfg.Serve != nil {
+		p["serve"] = true
+		p["router"] = o.cfg.Serve.Router
 	}
 	return p
 }

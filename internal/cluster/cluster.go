@@ -21,6 +21,7 @@ import (
 	"polca/internal/llm"
 	"polca/internal/obs"
 	"polca/internal/plan"
+	"polca/internal/serve"
 	"polca/internal/server"
 	"polca/internal/sim"
 	"polca/internal/stats"
@@ -100,6 +101,13 @@ type RowConfig struct {
 	// per consecutive failure of the same target (0 = re-issue on the next
 	// telemetry tick).
 	OOBRetryBackoff time.Duration
+
+	// Serve switches the row from the slot model to the request-level
+	// serving backend: one continuous-batching serve.Replica per server,
+	// with arrivals spread by the configured router. Nil (the default) keeps
+	// the slot model; a pointer to the zero Config serves the row's own
+	// Model/DType with the serve package defaults. See serverow.go.
+	Serve *serve.Config
 
 	// DropStaleOOB makes the row discard an in-flight command whose target
 	// was superseded before it landed, instead of applying the outdated
@@ -274,6 +282,14 @@ func (c RowConfig) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
+	// The serve config needs the GPU spec to validate fully (model fit, KV
+	// headroom); NewRow does that in initServe. Here we only reject an
+	// obviously broken router name early.
+	if c.Serve != nil && c.Serve.Router != "" {
+		if _, err := serve.NewRouter(c.Serve.Router); err != nil {
+			return err
+		}
+	}
 	if err := workload.Validate(c.Classes); err != nil {
 		return err
 	}
@@ -366,6 +382,14 @@ type Metrics struct {
 	NodeDeaths int
 	// Faults tallies what the injector actually injected during the run.
 	Faults faults.Counts
+
+	// Serve-mode accounting (populated only when Config.Serve is non-nil).
+	// TTFTSec holds per-request time-to-first-token and TBTSec mean
+	// time-between-tokens samples, keyed by Table 6 class name.
+	TTFTSec map[string][]float64
+	TBTSec  map[string][]float64
+	// Serve aggregates the replicas' scheduler counters.
+	Serve ServeStats
 }
 
 // Throughput returns completed requests per server-second for the pool.
@@ -400,6 +424,10 @@ type node struct {
 	retryDead   bool
 
 	active *activeReq
+
+	// rep is the node's serving replica in serve mode (nil in slot mode);
+	// it replaces active as the source of busy time and power.
+	rep *serve.Replica
 }
 
 // activeReq tracks the request a node is executing.
@@ -480,6 +508,13 @@ type Row struct {
 	failedCmdCtr *obs.Counter
 	brakeCtr     *obs.Counter
 	cmdsInFlight int
+
+	// Serve-mode runtime (zero in slot mode): the resolved serving config,
+	// one router per priority pool, and reusable routing scratch slices.
+	serveCfg   serve.Config
+	routers    [2]serve.Router
+	serveEps   [2][]serve.Endpoint
+	serveNodes [2][]*node
 }
 
 // NewRow builds a row on the engine with the given policy. It returns an
@@ -561,6 +596,11 @@ func NewRow(eng *sim.Engine, cfg RowConfig, ctrl Controller) (*Row, error) {
 	// one branch. Its streams are named, independent draws from the engine:
 	// creating them perturbs nothing.
 	r.inj = faults.New(cfg.Faults, total, eng.Rand)
+	if cfg.Serve != nil {
+		if err := r.initServe(); err != nil {
+			return nil, err
+		}
+	}
 	r.wdLPMHz, r.wdHPMHz = cfg.WatchdogLPMHz, cfg.WatchdogHPMHz
 	if r.wdLPMHz == 0 {
 		r.wdLPMHz = 1110
@@ -659,6 +699,7 @@ func (r *Row) Run(arrivals trace.RatePlan) *Metrics {
 	// Drain in-flight work so tail latencies are recorded.
 	r.eng.RunUntil(horizon + 30*time.Minute)
 	r.metrics.Faults = r.inj.Counts()
+	r.finalizeServe()
 	return r.metrics
 }
 
@@ -806,7 +847,10 @@ func (r *Row) updateServerFaults(now sim.Time) {
 			n.dead = true
 			r.inj.CountNodeDeath()
 			r.metrics.NodeDeaths++
-			if a := n.active; a != nil {
+			if n.rep != nil {
+				// The replica's OnDrop callback records each lost request.
+				n.rep.Fail(now)
+			} else if a := n.active; a != nil {
 				a.timer.Stop()
 				n.active = nil
 				r.busy[a.req.Priority]--
@@ -854,6 +898,10 @@ func (r *Row) arrive(now sim.Time) {
 // dispatch enqueues the request at the row's front door and admits as much
 // queued work as the admission gate allows.
 func (r *Row) dispatch(now sim.Time, req workload.Request) {
+	if r.serveMode() {
+		r.dispatchServe(now, req)
+		return
+	}
 	// Buffering is bounded at one queued request per server (§6.6); a
 	// production load balancer sheds or redirects beyond that.
 	if len(r.frontQ[req.Priority]) >= len(r.pools[req.Priority]) {
@@ -959,6 +1007,9 @@ func (r *Row) serviceAtLock(p workload.Priority, lock float64) float64 {
 
 // tryAdmit starts queued requests on idle servers while the gate allows.
 func (r *Row) tryAdmit(p workload.Priority, now sim.Time) {
+	if r.serveMode() {
+		return // replicas pull their own work; there is no central queue
+	}
 	limit := r.admitLimit(p, now)
 	for len(r.frontQ[p]) > 0 && r.busy[p] < limit {
 		var idle []*node
@@ -1056,6 +1107,10 @@ func (r *Row) complete(n *node, now sim.Time) {
 
 // replan rebuilds the node's in-flight phase after a clock change.
 func (r *Row) replan(n *node, now sim.Time) {
+	if n.rep != nil {
+		n.rep.Replan(now)
+		return
+	}
 	a := n.active
 	if a == nil || len(a.remaining) == 0 {
 		return
@@ -1083,9 +1138,12 @@ func (r *Row) nodePower(n *node, now sim.Time) float64 {
 		return 0
 	}
 	var gpuW float64
-	if n.active != nil {
+	switch {
+	case n.rep != nil:
+		gpuW = n.rep.PowerAt(now)
+	case n.active != nil:
 		gpuW = n.active.exec.PowerAt(now - n.active.phaseStart)
-	} else {
+	default:
 		gpuW = n.dev.Spec().IdleWatts
 	}
 	gpuW *= float64(n.srv.Spec().GPUCount) * r.cfg.PowerIntensity

@@ -77,6 +77,7 @@ func (r *Row) RunRequests(reqs []workload.Request, horizon time.Duration) *Metri
 	r.stopTelemetry()
 	r.eng.RunUntil(horizon + 30*time.Minute)
 	r.metrics.Faults = r.inj.Counts()
+	r.finalizeServe()
 	return r.metrics
 }
 

@@ -1,0 +1,227 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/faults"
+	"polca/internal/obs"
+	"polca/internal/serve"
+	"polca/internal/sim"
+	"polca/internal/stats"
+	"polca/internal/workload"
+)
+
+// serveConfig returns a small serve-mode row.
+func serveConfig() cluster.RowConfig {
+	cfg := testConfig()
+	cfg.Serve = &serve.Config{}
+	return cfg
+}
+
+func TestServeConfigAccessors(t *testing.T) {
+	cfg := serveConfig()
+	eng := sim.New(cfg.Seed)
+	row := cluster.MustRow(eng, cfg, &recordingCtrl{})
+	sc := row.ServeConfig()
+	if sc == nil {
+		t.Fatal("ServeConfig() = nil in serve mode")
+	}
+	// The serving model defaults to the row's model with resolved defaults.
+	if sc.Model.Name != cfg.Model.Name || sc.MaxBatchSize != 32 || sc.Router != "least-queue" {
+		t.Errorf("resolved serve config = %+v", sc)
+	}
+	slot := testConfig()
+	row2 := cluster.MustRow(sim.New(1), slot, &recordingCtrl{})
+	if row2.ServeConfig() != nil {
+		t.Error("ServeConfig() non-nil in slot mode")
+	}
+}
+
+func TestServeConfigValidation(t *testing.T) {
+	cfg := serveConfig()
+	cfg.Serve.Router = "bogus"
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted an unknown serve router")
+	}
+	cfg = serveConfig()
+	cfg.Serve.DecodeStride = -1
+	if _, err := cluster.NewRow(sim.New(1), cfg, &recordingCtrl{}); err == nil {
+		t.Error("NewRow accepted a bad serve config")
+	}
+}
+
+// TestServeRowCalibration runs the same steady-state arrivals through the
+// slot backend and the serving backend and requires the row-level
+// aggregates to agree: same completion count (both backends are
+// work-conserving and unsaturated at 60% busy) and a mean power within a
+// few percent. The tails legitimately differ — the serving backend batches
+// requests, so its power flips between loaded iterations and idle gaps
+// where the slot model spreads each request's power over its own span, and
+// queueing latencies are not comparable (batched residency vs exclusive
+// service). Only the means are expected to line up.
+func TestServeRowCalibration(t *testing.T) {
+	slotCfg := testConfig()
+	plan := flatPlan(slotCfg, 0.6, 2*time.Hour)
+	slot := runRow(t, slotCfg, &recordingCtrl{}, plan)
+	srv := runRow(t, serveConfig(), &recordingCtrl{}, plan)
+
+	// The arrival process is backend-independent, but the priority coin
+	// shares the dispatch RNG stream with slot-mode server selection, so
+	// only the totals are comparable across backends.
+	slotArr := slot.Arrived[workload.Low] + slot.Arrived[workload.High]
+	srvArr := srv.Arrived[workload.Low] + srv.Arrived[workload.High]
+	if slotArr != srvArr {
+		t.Fatalf("total arrivals differ (%d vs %d): backends saw different workloads", slotArr, srvArr)
+	}
+	slotDone := slot.Completed[workload.Low] + slot.Completed[workload.High]
+	srvDone := srv.Completed[workload.Low] + srv.Completed[workload.High]
+	if srvDone < slotDone*98/100 || srvDone > slotDone*102/100 {
+		t.Errorf("completions: slot %d, serve %d (> 2%% apart)", slotDone, srvDone)
+	}
+	slotMean, srvMean := slot.Util.Mean(), srv.Util.Mean()
+	diff := srvMean - slotMean
+	if diff < 0 {
+		diff = -diff
+	}
+	t.Logf("mean util: slot %.3f serve %.3f; serve p99 %.3f batches %d",
+		slotMean, srvMean, srv.Util.Peak(), srv.Serve.Batches)
+	if diff > 0.08 {
+		t.Errorf("mean util: slot %.3f, serve %.3f — diverges beyond 0.08", slotMean, srvMean)
+	}
+
+	// Serving-only aggregates must be populated and internally consistent.
+	if srv.Serve.Batches == 0 || srv.Serve.DecodeTokens == 0 {
+		t.Fatalf("serve stats empty: %+v", srv.Serve)
+	}
+	if srv.Serve.KVReservedTokens != srv.Serve.KVFreedTokens {
+		t.Errorf("row-wide KV ledger leaked: reserved %d, freed %d",
+			srv.Serve.KVReservedTokens, srv.Serve.KVFreedTokens)
+	}
+	if len(srv.TTFTSec) == 0 || len(srv.TBTSec) == 0 {
+		t.Error("serve mode recorded no token latencies")
+	}
+	if slot.Serve.Batches != 0 || slot.TTFTSec != nil {
+		t.Error("slot mode leaked serving metrics")
+	}
+}
+
+// TestServeTraceReconciles extends the observability acceptance test to the
+// serving backend: every scheduler aggregate must be re-derivable from the
+// event stream.
+func TestServeTraceReconciles(t *testing.T) {
+	cfg := serveConfig()
+	cfg.AddedFraction = 0.30
+	m, _, o := runObservedRow(t, cfg, &recordingCtrl{}, 0.9, time.Hour)
+	tr := o.Tracer
+
+	if got := tr.CountKind(obs.KindBatchForm); got != m.Serve.Batches {
+		t.Errorf("batch.form events = %d, Serve.Batches = %d", got, m.Serve.Batches)
+	}
+	if got := tr.CountKind(obs.KindPreempt); got != m.Serve.Preemptions {
+		t.Errorf("preempt events = %d, Serve.Preemptions = %d", got, m.Serve.Preemptions)
+	}
+	if got := tr.CountKind(obs.KindKVHighWater); got != m.Serve.KVHighWaterEvents {
+		t.Errorf("kv.highwater events = %d, Serve.KVHighWaterEvents = %d", got, m.Serve.KVHighWaterEvents)
+	}
+	completed := m.Completed[workload.Low] + m.Completed[workload.High]
+	if got := tr.CountKind(obs.KindComplete); got != completed {
+		t.Errorf("req.complete events = %d, Completed = %d", got, completed)
+	}
+	dropped := m.Dropped[workload.Low] + m.Dropped[workload.High]
+	if got := tr.CountKind(obs.KindDrop); got != dropped {
+		t.Errorf("req.drop events = %d, Dropped = %d", got, dropped)
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["serve_batches_total"]; got != int64(m.Serve.Batches) {
+		t.Errorf("serve_batches_total = %d, want %d", got, m.Serve.Batches)
+	}
+	if got := snap.Counters["serve_preemptions_total"]; got != int64(m.Serve.Preemptions) {
+		t.Errorf("serve_preemptions_total = %d, want %d", got, m.Serve.Preemptions)
+	}
+}
+
+// TestServeNodeDeathDropsInFlight kills servers mid-run and checks the
+// serving backend accounts for every request: arrivals equal completions
+// plus drops, and the KV reservations of killed sequences are released.
+func TestServeNodeDeathDropsInFlight(t *testing.T) {
+	cfg := serveConfig()
+	cfg.Faults = faults.Spec{
+		Kills: []faults.Kill{{Servers: 2, Window: faults.Window{Start: 10 * time.Minute, Dur: 20 * time.Minute}}},
+	}
+	m := runRow(t, cfg, &recordingCtrl{}, flatPlan(cfg, 0.6, time.Hour))
+
+	dropped := m.Dropped[workload.Low] + m.Dropped[workload.High]
+	if dropped == 0 {
+		t.Fatal("killing 2 servers for 20 minutes dropped nothing")
+	}
+	for _, p := range []workload.Priority{workload.Low, workload.High} {
+		if m.Arrived[p] != m.Completed[p]+m.Dropped[p] {
+			t.Errorf("pool %v: arrived %d != completed %d + dropped %d",
+				p, m.Arrived[p], m.Completed[p], m.Dropped[p])
+		}
+	}
+	if m.Serve.KVReservedTokens != m.Serve.KVFreedTokens {
+		t.Errorf("KV leaked across node death: reserved %d, freed %d",
+			m.Serve.KVReservedTokens, m.Serve.KVFreedTokens)
+	}
+}
+
+// TestServeDeterminism requires byte-identical serve-mode reruns for every
+// router policy, including the power-aware one that reads OOB cap state.
+func TestServeDeterminism(t *testing.T) {
+	for _, router := range serve.RouterNames() {
+		cfg := serveConfig()
+		cfg.AddedFraction = 0.30
+		cfg.Serve.Router = router
+		run := func() *cluster.Metrics {
+			return runRow(t, cfg, &recordingCtrl{lockLP: 1100}, flatPlan(cfg, 0.8, 30*time.Minute))
+		}
+		a, b := run(), run()
+		if a.Serve != b.Serve {
+			t.Errorf("%s: serve stats differ:\n%+v\n%+v", router, a.Serve, b.Serve)
+		}
+		for i := range a.Util.Values {
+			if a.Util.Values[i] != b.Util.Values[i] {
+				t.Fatalf("%s: power series differs at sample %d", router, i)
+			}
+		}
+		for class, xs := range a.TTFTSec {
+			ys := b.TTFTSec[class]
+			if len(xs) != len(ys) {
+				t.Fatalf("%s: TTFT sample counts differ for %s", router, class)
+			}
+			for i := range xs {
+				if xs[i] != ys[i] {
+					t.Fatalf("%s: TTFT differs for %s at sample %d", router, class, i)
+				}
+			}
+		}
+	}
+}
+
+// TestServeCappingSlowsTokens is the serving-backend version of the
+// capping-latency check: locking the low-priority pool's clocks stretches
+// that pool's iterations, so low-priority requests take visibly longer
+// while the high-priority pool stays comparatively unaffected. (The run is
+// unsaturated and drains fully, so completion counts cannot show the
+// slowdown — latency does.)
+func TestServeCappingSlowsTokens(t *testing.T) {
+	cfg := serveConfig()
+	base := runRow(t, cfg, &recordingCtrl{}, flatPlan(cfg, 0.6, time.Hour))
+	capped := runRow(t, cfg, &recordingCtrl{lockLP: 960}, flatPlan(cfg, 0.6, time.Hour))
+
+	lpBase := stats.Percentile(base.LatencySec[workload.Low], 50)
+	lpCapped := stats.Percentile(capped.LatencySec[workload.Low], 50)
+	if lpCapped < lpBase*1.05 {
+		t.Errorf("LP p50 latency %.2fs → %.2fs under a 960 MHz lock, expected ≥ 5%% slower",
+			lpBase, lpCapped)
+	}
+	hpBase := stats.Percentile(base.LatencySec[workload.High], 50)
+	hpCapped := stats.Percentile(capped.LatencySec[workload.High], 50)
+	if hpCapped > hpBase*1.05 {
+		t.Errorf("HP p50 latency %.2fs → %.2fs despite an LP-only cap", hpBase, hpCapped)
+	}
+	t.Logf("p50 latency: LP %.2fs → %.2fs, HP %.2fs → %.2fs", lpBase, lpCapped, hpBase, hpCapped)
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"polca/internal/obs"
+	"polca/internal/serve"
+	"polca/internal/sim"
+	"polca/internal/workload"
+)
+
+// This file is the serve-mode row backend: when RowConfig.Serve is set, the
+// row runs one continuous-batching serve.Replica per server instead of the
+// slot model, and a serve.Router spreads arrivals across each pool. The
+// power-management side — telemetry, brake, controller, OOB pipeline — is
+// identical in both modes; only where busy time and power come from changes.
+
+// ServeStats aggregates the serving replicas' scheduler counters across the
+// row (all zero in slot mode). BusySec in serve mode records residency
+// (enqueue to completion) rather than pure service time, since batched
+// execution has no exclusive-service interval.
+type ServeStats struct {
+	// Batches counts continuous-batching iterations formed row-wide.
+	Batches int
+	// Preemptions counts sequences bounced to recompute under KV pressure.
+	Preemptions int
+	// PromptTokens and DecodeTokens count prefill tokens processed and
+	// tokens generated.
+	PromptTokens int64
+	DecodeTokens int64
+	// MaxRunning is the deepest running batch any replica reached.
+	MaxRunning int
+	// KVHighWaterFrac is the highest KV-cache occupancy fraction any replica
+	// reached; KVHighWaterEvents counts traced new-high-water emissions.
+	KVHighWaterFrac   float64
+	KVHighWaterEvents int
+	// KVReservedTokens and KVFreedTokens are the cumulative KV ledger; they
+	// are equal once every replica has drained (the no-leak invariant).
+	KVReservedTokens int64
+	KVFreedTokens    int64
+}
+
+// serveMode reports whether the row runs the request-level backend.
+func (r *Row) serveMode() bool { return r.cfg.Serve != nil }
+
+// ServeConfig returns the resolved serving configuration, or nil in slot
+// mode.
+func (r *Row) ServeConfig() *serve.Config {
+	if !r.serveMode() {
+		return nil
+	}
+	c := r.serveCfg
+	return &c
+}
+
+// initServe builds the per-node replicas and per-pool routers. The serving
+// model defaults to the row's model so callers only override what differs.
+func (r *Row) initServe() error {
+	scfg := *r.cfg.Serve
+	if scfg.Model.Params == 0 {
+		scfg.Model = r.cfg.Model
+		scfg.DType = r.cfg.DType
+	}
+	scfg = scfg.WithDefaults()
+	r.serveCfg = scfg
+	if err := scfg.Validate(r.GPUSpec()); err != nil {
+		return err
+	}
+	for _, p := range []workload.Priority{workload.Low, workload.High} {
+		rt, err := serve.NewRouter(scfg.Router)
+		if err != nil {
+			return err
+		}
+		r.routers[p] = rt
+	}
+	r.metrics.TTFTSec = map[string][]float64{}
+	r.metrics.TBTSec = map[string][]float64{}
+	for _, n := range r.nodes {
+		n := n
+		rep, err := serve.NewReplica(r.eng, scfg, n.dev, n.idx, int8(n.pri))
+		if err != nil {
+			return err
+		}
+		rep.OnFirstToken = func(s *serve.Seq, now sim.Time) {
+			r.metrics.TTFTSec[s.Req.Class] = append(r.metrics.TTFTSec[s.Req.Class], s.TTFTSeconds())
+		}
+		rep.OnComplete = func(s *serve.Seq, now sim.Time) {
+			pri := s.Req.Priority
+			r.metrics.Completed[pri]++
+			r.metrics.LatencySec[pri] = append(r.metrics.LatencySec[pri], (now - s.Req.Arrival).Seconds())
+			r.metrics.BusySec[pri] += (now - s.Enqueued).Seconds()
+			r.metrics.TBTSec[s.Req.Class] = append(r.metrics.TBTSec[s.Req.Class], s.MeanTBTSeconds())
+			r.completedCtr[pri].Inc()
+			if r.tracer != nil {
+				r.tracer.Emit(obs.Event{
+					At: now, Kind: obs.KindComplete, Server: int32(n.idx), Pool: int8(pri),
+					Value: (now - s.Req.Arrival).Seconds(),
+				})
+			}
+		}
+		rep.OnDrop = func(s *serve.Seq, now sim.Time, reason string) {
+			pri := s.Req.Priority
+			r.metrics.Dropped[pri]++
+			r.droppedCtr[pri].Inc()
+			if r.tracer != nil {
+				r.tracer.Emit(obs.Event{
+					At: now, Kind: obs.KindDrop, Server: int32(n.idx), Pool: int8(pri),
+					Reason: reason,
+				})
+			}
+		}
+		n.rep = rep
+	}
+	return nil
+}
+
+// dispatchServe routes one request to a replica in its priority pool. Dead
+// nodes are excluded from the endpoint set; an empty set or a full replica
+// queue sheds the request, as the slot model's bounded buffer does.
+func (r *Row) dispatchServe(now sim.Time, req workload.Request) {
+	pri := req.Priority
+	eps := r.serveEps[pri][:0]
+	nodes := r.serveNodes[pri][:0]
+	for _, n := range r.pools[pri] {
+		if n.dead {
+			continue
+		}
+		eps = append(eps, serve.Endpoint{Rep: n.rep, CappedMHz: n.appliedLock})
+		nodes = append(nodes, n)
+	}
+	r.serveEps[pri], r.serveNodes[pri] = eps, nodes
+	i := r.routers[pri].Pick(eps, req)
+	if i < 0 {
+		r.dropServe(now, -1, pri, "no-server")
+		return
+	}
+	n := nodes[i]
+	if !n.rep.Enqueue(now, req) {
+		r.dropServe(now, int32(n.idx), pri, "queue-full")
+		return
+	}
+	if q := n.rep.QueueLen(); q > r.metrics.MaxQueueLen {
+		r.metrics.MaxQueueLen = q
+	}
+}
+
+// dropServe records a shed request (router found no live replica, or the
+// chosen replica's queue was full).
+func (r *Row) dropServe(now sim.Time, srv int32, pri workload.Priority, reason string) {
+	r.metrics.Dropped[pri]++
+	r.droppedCtr[pri].Inc()
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{
+			At: now, Kind: obs.KindDrop, Server: srv, Pool: int8(pri), Reason: reason,
+		})
+	}
+}
+
+// finalizeServe folds the replicas' scheduler counters into the run
+// metrics. Called once at the end of Run/RunRequests.
+func (r *Row) finalizeServe() {
+	if !r.serveMode() {
+		return
+	}
+	st := &r.metrics.Serve
+	for _, n := range r.nodes {
+		s := n.rep.Stats()
+		st.Batches += s.Batches
+		st.Preemptions += s.Preemptions
+		st.PromptTokens += s.PromptTokens
+		st.DecodeTokens += s.DecodeTokens
+		st.KVHighWaterEvents += s.KVHighWaterEvents
+		st.KVReservedTokens += s.KVReservedTokens
+		st.KVFreedTokens += s.KVFreedTokens
+		if s.MaxRunning > st.MaxRunning {
+			st.MaxRunning = s.MaxRunning
+		}
+		if s.KVHighWaterFrac > st.KVHighWaterFrac {
+			st.KVHighWaterFrac = s.KVHighWaterFrac
+		}
+	}
+}

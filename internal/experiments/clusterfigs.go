@@ -9,6 +9,7 @@ import (
 	"polca/internal/faults"
 	"polca/internal/polca"
 	"polca/internal/render"
+	"polca/internal/serve"
 	"polca/internal/sim"
 	"polca/internal/stats"
 	"polca/internal/trace"
@@ -45,6 +46,11 @@ type rowSpec struct {
 	retryBudget  int           // bounded OOB retries, 0 = unlimited
 	retryBackoff time.Duration // OOB retry backoff, 0 = next tick
 	dropStale    bool          // drop superseded in-flight OOB commands
+
+	// serveRouter, when non-empty, switches the row to the request-level
+	// serving backend with this routing policy (figserve); "" keeps the
+	// slot model, leaving every paper figure byte-identical.
+	serveRouter string
 }
 
 // buildController instantiates the policy named in the spec.
@@ -110,6 +116,9 @@ func runRowSpec(o Options, s rowSpec) (*cluster.Metrics, error) {
 	cfg.OOBRetryBudget = s.retryBudget
 	cfg.OOBRetryBackoff = s.retryBackoff
 	cfg.DropStaleOOB = s.dropStale
+	if s.serveRouter != "" {
+		cfg.Serve = &serve.Config{Router: s.serveRouter}
+	}
 
 	// The trace is fitted against the *profiled* workload (intensity 1):
 	// POLCA's operators sized the policy before workloads drifted.

@@ -26,7 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fit", "fig13", "fig14", "fig15a", "fig15b", "fig16", "fig17", "fig18",
 		"ext-dtype", "ext-phase", "ext-split", "ext-aware", "ext-swing",
 		"ext-hysteresis", "ext-oob", "ext-batch", "ext-seeds", "ext-h100",
-		"ext-train-oversub", "ext-ladder", "figfault",
+		"ext-train-oversub", "ext-ladder", "figfault", "figserve",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"polca/internal/workload"
+)
+
+func TestFigServe(t *testing.T) {
+	res := quick(t, "figserve")
+	data := res.Data.(FigServeData)
+
+	if len(data.Power) != 4 {
+		t.Fatalf("power rows = %d, want 4 (2 backends x 2 policies)", len(data.Power))
+	}
+	for i, want := range []struct{ backend, policy string }{
+		{"slot", "No-cap"}, {"slot", "POLCA"}, {"serve", "No-cap"}, {"serve", "POLCA"},
+	} {
+		p := data.Power[i]
+		if p.Backend != want.backend || p.Policy != want.policy {
+			t.Errorf("power row %d = %s/%s, want %s/%s", i, p.Backend, p.Policy, want.backend, want.policy)
+		}
+		if p.Mean <= 0 || p.P99 < p.P50 || p.Peak2s < p.P99 {
+			t.Errorf("power row %d distribution inconsistent: %+v", i, p)
+		}
+	}
+
+	classes := workload.Names(workload.Table6())
+	if len(data.Classes) != len(classes) {
+		t.Fatalf("class rows = %d, want %d", len(data.Classes), len(classes))
+	}
+	for i, c := range data.Classes {
+		if c.Class != classes[i] {
+			t.Errorf("class row %d = %s, want %s", i, c.Class, classes[i])
+		}
+		if c.TTFTp99NoCap <= 0 || c.TBTp99NoCapMS <= 0 {
+			t.Errorf("class %s has empty token latencies: %+v", c.Class, c)
+		}
+	}
+	if data.Batches == 0 {
+		t.Error("serve run formed no batches")
+	}
+	if data.KVHighWater <= 0 || data.KVHighWater > 1 {
+		t.Errorf("KV high water = %v, want (0, 1]", data.KVHighWater)
+	}
+	// Quick mode skips the threshold sweep entirely (including the default
+	// combo, which is only prepended when the sweep runs).
+	if len(data.Sensitivity) != 0 {
+		t.Errorf("quick mode ran the threshold sweep: %+v", data.Sensitivity)
+	}
+}
+
+// TestFigServeDeterministic reruns figserve with a cold simulation cache
+// and requires the identical rendering — the serve backend must not leak
+// map-iteration or scheduling nondeterminism into the figure.
+func TestFigServeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two cold figserve runs")
+	}
+	a := quick(t, "figserve")
+	resetEvalCache()
+	b := quick(t, "figserve")
+	if a.Text != b.Text {
+		t.Errorf("figserve renders differ across cold-cache reruns:\n%s\n---\n%s", a.Text, b.Text)
+	}
+}

@@ -34,8 +34,12 @@ func resetEvalCache() {
 
 // specLabel names a grid point for progress tracking and grid events.
 func specLabel(s rowSpec) string {
-	return fmt.Sprintf("%s added=%g int=%g lp=%g d=%d mhz=%g t=%g/%g",
+	l := fmt.Sprintf("%s added=%g int=%g lp=%g d=%d mhz=%g t=%g/%g",
 		s.policy, s.added, s.intensity, s.lpFrac, s.days, s.lpBaseMHz, s.t1, s.t2)
+	if s.serveRouter != "" {
+		l += " serve=" + s.serveRouter
+	}
+	return l
 }
 
 // simulateRowCached runs (or returns the cached result of) one row

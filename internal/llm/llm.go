@@ -238,6 +238,72 @@ func (m Model) TokenStepBytes(dt DType, batch, kvLen int) float64 {
 	return m.WeightBytes(dt)*dt.MemAmplification() + kv
 }
 
+// PrefillChunkFLOPs returns the floating-point work of prefilling a chunk
+// of chunk prompt tokens for one sequence whose KV cache already holds ctx
+// tokens (chunked prefill, as continuous-batching schedulers run it):
+// 2·params per chunk token plus attention of each chunk token against the
+// prior context and the causally-preceding chunk tokens. At ctx == 0 with a
+// full-prompt chunk it reproduces PromptFLOPs exactly (modulo the KV-head
+// fraction, which PromptFLOPs folds into its constant), so chunking a
+// prompt never changes its total attention FLOPs.
+func (m Model) PrefillChunkFLOPs(chunk, ctx int) float64 {
+	if chunk <= 0 {
+		return 0
+	}
+	c, k := float64(chunk), float64(ctx)
+	linear := 2 * float64(m.Params) * c
+	pairs := c*k + c*c/2
+	attn := 4 * float64(m.Layers) * float64(m.Hidden) * pairs * float64(m.kvHeads()) / float64(m.Heads)
+	return linear + attn
+}
+
+// PrefillChunkBytes returns the HBM traffic of one prefill chunk beyond the
+// per-iteration weight stream (which a continuous-batching scheduler pays
+// once per iteration, not once per sequence): activation traffic for the
+// chunk tokens, the KV write for the chunk, and one read of the prior
+// context's KV cache.
+func (m Model) PrefillChunkBytes(dt DType, chunk, ctx int) float64 {
+	if chunk <= 0 {
+		return 0
+	}
+	c := float64(chunk)
+	activations := 12 * float64(m.Layers) * float64(m.Hidden) * dt.Bytes() * c
+	kv := m.KVBytesPerToken(dt) * (c + float64(ctx))
+	return activations + kv
+}
+
+// DecodeSpanFLOPs returns the floating-point work of decoding steps
+// consecutive tokens for one sequence whose KV cache holds kvStart tokens
+// at the first step and grows by one per step. It is the closed form of
+// summing TokenStepFLOPs(1, kvStart+i) for i in [0, steps); schedulers that
+// aggregate several identical decode steps into one simulated iteration use
+// it to keep the exact per-step attention cost.
+func (m Model) DecodeSpanFLOPs(steps, kvStart int) float64 {
+	if steps <= 0 {
+		return 0
+	}
+	s, k := float64(steps), float64(kvStart)
+	linear := 2 * float64(m.Params) * s
+	pairs := s*k + s*(s-1)/2
+	attn := 4 * float64(m.Layers) * float64(m.Hidden) * pairs * float64(m.kvHeads()) / float64(m.Heads)
+	return linear + attn
+}
+
+// DecodeSpanBytes returns the HBM traffic of the same decode span beyond
+// the per-iteration weight stream: the KV cache read per step (growing by
+// one token per step), the KV write of each new token, and the single-token
+// activation traffic per step.
+func (m Model) DecodeSpanBytes(dt DType, steps, kvStart int) float64 {
+	if steps <= 0 {
+		return 0
+	}
+	s, k := float64(steps), float64(kvStart)
+	activations := 12 * float64(m.Layers) * float64(m.Hidden) * dt.Bytes() * s
+	kvRead := m.KVBytesPerToken(dt) * (s*k + s*(s-1)/2)
+	kvWrite := m.KVBytesPerToken(dt) * s
+	return activations + kvRead + kvWrite
+}
+
 // TrainStepFLOPs returns the floating-point work of one training iteration
 // on tokens = batch·seqLen: forward (2·params) plus backward (4·params) per
 // token, plus the attention terms for both directions.

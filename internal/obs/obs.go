@@ -91,6 +91,19 @@ const (
 	// window for one node.
 	KindNodeDeath
 	KindNodeRevive
+	// KindBatchForm is a serving replica forming one continuous-batching
+	// iteration: Server is the replica's node index, Value the iteration's
+	// total token count (prompt-chunk tokens + decode steps), Reason
+	// "prefill", "decode", or "mixed".
+	KindBatchForm
+	// KindPreempt is a running sequence preempted for recompute under KV
+	// pressure; Value is the KV bytes freed.
+	KindPreempt
+	// KindKVHighWater is a replica's KV-cache occupancy reaching a new high
+	// water; Value is the occupancy as a fraction of KV capacity. Emitted
+	// only when the high water grows by at least a capacity step, so the
+	// stream stays bounded.
+	KindKVHighWater
 )
 
 var kindNames = [...]string{
@@ -118,6 +131,9 @@ var kindNames = [...]string{
 	KindFailSafeRelease: "failsafe.release",
 	KindNodeDeath:       "node.death",
 	KindNodeRevive:      "node.revive",
+	KindBatchForm:       "batch.form",
+	KindPreempt:         "preempt",
+	KindKVHighWater:     "kv.highwater",
 }
 
 // String returns the event kind's wire name ("cap.apply").

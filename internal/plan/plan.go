@@ -170,25 +170,46 @@ func promptEfficiency(tokens int) float64 {
 // promptComm returns the un-hideable tensor-parallel communication time of
 // the prompt phase: two all-reduces per layer over the activation tensor.
 func promptComm(m llm.Model, c InferenceConfig) float64 {
-	if c.TensorParallel <= 1 {
-		return 0
-	}
-	nvlink := c.nvlink()
-	actBytes := float64(c.BatchSize) * float64(c.InputTokens) * float64(m.Hidden) * c.DType.Bytes()
-	perAR := actBytes/nvlink + allReduceLatencySec
-	return float64(m.Layers) * allReducesPerLayer * perAR
+	return AllReduceSeconds(m, c.DType, c.TensorParallel, c.BatchSize*c.InputTokens, c.NVLinkGBps)
 }
 
 // tokenComm returns per-step communication time during token sampling: the
 // activation tensor is one token wide, so latency dominates.
 func tokenComm(m llm.Model, c InferenceConfig) float64 {
-	if c.TensorParallel <= 1 {
+	return AllReduceSeconds(m, c.DType, c.TensorParallel, c.BatchSize, c.NVLinkGBps)
+}
+
+// AllReduceSeconds returns the un-hideable tensor-parallel all-reduce time
+// of one pass through the model with tokens activation rows in flight: two
+// all-reduces per layer, each moving the tokens×hidden activation tensor
+// at nvlinkGBps (0 = the A100 default) plus a fixed latency. Iteration-level
+// schedulers use it with tokens = prompt-chunk tokens + decoding sequences
+// so mixed batches pay the same sync cost the slot model's phases do.
+func AllReduceSeconds(m llm.Model, dt llm.DType, tensorParallel, tokens int, nvlinkGBps float64) float64 {
+	if tensorParallel <= 1 || tokens <= 0 {
 		return 0
 	}
-	nvlink := c.nvlink()
-	actBytes := float64(c.BatchSize) * float64(m.Hidden) * c.DType.Bytes()
+	nvlink := InferenceConfig{NVLinkGBps: nvlinkGBps}.nvlink()
+	actBytes := float64(tokens) * float64(m.Hidden) * dt.Bytes()
 	perAR := actBytes/nvlink + allReduceLatencySec
 	return float64(m.Layers) * allReducesPerLayer * perAR
+}
+
+// PassOverheadSeconds returns the kernel-launch overhead of one full pass
+// through the model at maximum clock — the same per-step constant the slot
+// model's phases carry, exported for iteration-level schedulers.
+func PassOverheadSeconds(m llm.Model) float64 {
+	return float64(m.Layers) * kernelsPerLayer * kernelLaunchSec
+}
+
+// BatchEfficiency exposes the prompt-efficiency curve for iteration-level
+// schedulers: the achieved fraction of peak tensor throughput when tokens
+// rows (prompt-chunk tokens plus one per decoding sequence) run through the
+// layer GEMMs in parallel. Decode-only iterations with small batches stay
+// on the inefficient, memory-bound end; big mixed batches approach the
+// prompt phase's saturation.
+func BatchEfficiency(tokens int) float64 {
+	return promptEfficiency(tokens)
 }
 
 // GPUsForDType returns the minimum number of A100-80GB GPUs needed to hold

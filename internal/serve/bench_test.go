@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"testing"
+
+	"polca/internal/gpu"
+	"polca/internal/llm"
+	"polca/internal/sim"
+	"polca/internal/workload"
+)
+
+// BenchmarkScheduler measures the continuous-batching iteration loop
+// end-to-end: one op enqueues a small request and drives the engine until
+// the replica drains (a prefill pass plus one strided decode pass).
+func BenchmarkScheduler(b *testing.B) {
+	eng := sim.New(1)
+	cfg := Config{Model: llm.MustByName("Llama2-13B"), DType: llm.FP16}
+	rep, err := NewReplica(eng, cfg, gpu.NewDevice(gpu.A100SXM80GB()), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep.Enqueue(eng.Now(), workload.Request{ID: int64(i), Arrival: eng.Now(), Input: 64, Output: 8})
+		for !rep.Idle() {
+			if !eng.Step() {
+				b.Fatal("engine drained with work pending")
+			}
+		}
+	}
+	if rep.Stats().Completed != b.N {
+		b.Fatalf("completed %d, want %d", rep.Stats().Completed, b.N)
+	}
+}
+
+// BenchmarkServeTracerDisabled measures the scheduler's observability
+// touchpoints with no observer attached — the sweep configuration, where
+// thousands of replica runs must not pay for tracing. The B/op column is
+// the contract: it must stay 0.
+func BenchmarkServeTracerDisabled(b *testing.B) {
+	eng := sim.New(1)
+	cfg := Config{Model: llm.MustByName("Llama2-13B"), DType: llm.FP16}
+	rep, err := NewReplica(eng, cfg, gpu.NewDevice(gpu.A100SXM80GB()), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.tracer != nil {
+		b.Fatal("engine without observer produced a tracer")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep.batchCtr.Inc()
+		rep.preemptCtr.Inc()
+		rep.kvGauge.Set(0.5)
+	}
+}

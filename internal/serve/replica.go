@@ -1,0 +1,622 @@
+package serve
+
+import (
+	"fmt"
+
+	"polca/internal/gpu"
+	"polca/internal/obs"
+	"polca/internal/plan"
+	"polca/internal/sim"
+	"polca/internal/workload"
+)
+
+// Seq is one request moving through a replica: waiting, then running
+// (prefill followed by decode), possibly bounced back to waiting by a
+// preemption, until its output length is reached.
+type Seq struct {
+	Req      workload.Request
+	Enqueued sim.Time
+
+	// prefillTarget is the context the sequence must (re)build before it
+	// can decode: the prompt, plus — after a preemption — the tokens it had
+	// already generated (recompute semantics).
+	prefillTarget int
+	prefilled     int
+	decoded       int
+
+	// kvTokens is the context materialized in the KV cache; kvRes is the
+	// tokens of KV reserved for it (materialized plus the in-flight
+	// iteration's planned growth). Reservations happen at batch formation
+	// and are released in full on preemption or completion, so the
+	// replica-level sum of kvRes can never overshoot capacity mid-iteration.
+	kvTokens int
+	kvRes    int
+
+	firstTokenAt sim.Time // -1 until the first output token
+	lastTokenAt  sim.Time
+	preempts     int
+
+	// Plan for the in-flight iteration, applied when it finishes.
+	chunk int // prompt tokens to prefill
+	steps int // decode steps to take
+}
+
+// outputTarget is the generation length that completes the sequence; even
+// a zero-output request samples one token from its prefill pass.
+func (s *Seq) outputTarget() int {
+	if s.Req.Output < 1 {
+		return 1
+	}
+	return s.Req.Output
+}
+
+// Decoded returns the tokens generated so far.
+func (s *Seq) Decoded() int { return s.decoded }
+
+// KVTokens returns the tokens materialized in the KV cache.
+func (s *Seq) KVTokens() int { return s.kvTokens }
+
+// KVReserved returns the tokens of KV reserved for the sequence.
+func (s *Seq) KVReserved() int { return s.kvRes }
+
+// Preempts returns how many times the sequence was preempted.
+func (s *Seq) Preempts() int { return s.preempts }
+
+// TTFTSeconds returns the time-to-first-token (arrival to first output
+// token), or -1 if no token was produced yet.
+func (s *Seq) TTFTSeconds() float64 {
+	if s.firstTokenAt < 0 {
+		return -1
+	}
+	return (s.firstTokenAt - s.Req.Arrival).Seconds()
+}
+
+// MeanTBTSeconds returns the request's mean time-between-tokens across its
+// generation (0 for single-token outputs).
+func (s *Seq) MeanTBTSeconds() float64 {
+	if s.decoded < 2 || s.firstTokenAt < 0 {
+		return 0
+	}
+	return (s.lastTokenAt - s.firstTokenAt).Seconds() / float64(s.decoded-1)
+}
+
+// Stats are the replica's cumulative scheduler counters. The observability
+// reconciliation test checks the traced event stream against them.
+type Stats struct {
+	Batches           int // iterations formed
+	Preemptions       int // sequences bounced to recompute
+	Completed         int
+	Dropped           int   // shed at the queue cap or lost to node death
+	PromptTokens      int64 // prefill tokens processed
+	DecodeTokens      int64 // tokens generated
+	MaxRunning        int   // peak concurrent running sequences
+	KVHighWaterFrac   float64
+	KVHighWaterEvents int   // trace emissions of a new high water
+	KVReservedTokens  int64 // cumulative reservation, in tokens
+	KVFreedTokens     int64 // cumulative release; equals reserved at drain
+
+	// EnergyJ is the per-GPU energy of every iteration as planned at
+	// launch, in joules. Exact on runs without mid-iteration replans (no
+	// caps landing mid-flight); the calibration tests rely on that case.
+	EnergyJ float64
+}
+
+// Replica is one continuous-batching serving instance: a tensor-parallel
+// group modeled by a single representative device (all GPUs in the group
+// execute identical phases, as in the slot model).
+type Replica struct {
+	eng  *sim.Engine
+	cfg  Config
+	dev  *gpu.Device
+	idx  int
+	pool int8
+
+	kvPerTok      int // per-GPU KV bytes per token
+	kvCapToks     int // per-GPU KV capacity in tokens
+	weightsPerGPU float64
+
+	waiting []*Seq
+	running []*Seq
+	kvToks  int // reserved KV across running sequences, in tokens
+
+	iterActive bool
+	iterPhase  gpu.Phase
+	iterExec   gpu.Exec
+	iterStart  sim.Time
+	iterTimer  sim.Timer
+
+	stats  Stats
+	lastHW float64 // last traced high-water fraction
+
+	tracer     *obs.Tracer
+	batchCtr   *obs.Counter
+	preemptCtr *obs.Counter
+	kvGauge    *obs.Gauge
+
+	// Lifecycle callbacks, all optional. They fire inside engine event
+	// handlers, so they must not block.
+	OnFirstToken func(s *Seq, now sim.Time)
+	OnComplete   func(s *Seq, now sim.Time)
+	OnDrop       func(s *Seq, now sim.Time, reason string)
+}
+
+// NewReplica builds a replica on the given device. idx and pool identify it
+// in trace events (the row uses the node index and priority pool).
+func NewReplica(eng *sim.Engine, cfg Config, dev *gpu.Device, idx int, pool int8) (*Replica, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(dev.Spec()); err != nil {
+		return nil, err
+	}
+	kvPerTok := cfg.kvBytesPerToken()
+	r := &Replica{
+		eng: eng, cfg: cfg, dev: dev, idx: idx, pool: pool,
+		kvPerTok:      int(kvPerTok),
+		kvCapToks:     int(cfg.kvCapacityBytes(dev.Spec()) / kvPerTok),
+		weightsPerGPU: cfg.Model.WeightBytes(cfg.DType) / float64(cfg.TensorParallel),
+	}
+	o := eng.Observer()
+	r.tracer = o.Trace()
+	r.batchCtr = o.Counter("serve_batches_total")
+	r.preemptCtr = o.Counter("serve_preemptions_total")
+	r.kvGauge = o.Gauge("serve_kv_highwater_frac")
+	return r, nil
+}
+
+// Config returns the replica's resolved configuration.
+func (r *Replica) Config() Config { return r.cfg }
+
+// Stats returns a snapshot of the scheduler counters.
+func (r *Replica) Stats() Stats { return r.stats }
+
+// QueueLen returns the waiting-queue depth.
+func (r *Replica) QueueLen() int { return len(r.waiting) }
+
+// Load returns waiting plus running sequences — the router's least-queue
+// signal.
+func (r *Replica) Load() int { return len(r.waiting) + len(r.running) }
+
+// Running returns the running-batch size.
+func (r *Replica) Running() int { return len(r.running) }
+
+// KVFrac returns the reserved KV cache as a fraction of capacity.
+func (r *Replica) KVFrac() float64 {
+	return float64(r.kvToks) / float64(r.kvCapToks)
+}
+
+// KVReservedBytes returns the reserved KV bytes per GPU.
+func (r *Replica) KVReservedBytes() float64 {
+	return float64(r.kvToks) * float64(r.kvPerTok)
+}
+
+// KVCapacityTokens returns the replica's KV capacity in tokens.
+func (r *Replica) KVCapacityTokens() int { return r.kvCapToks }
+
+// Idle reports whether the replica has no work at all.
+func (r *Replica) Idle() bool {
+	return !r.iterActive && len(r.running) == 0 && len(r.waiting) == 0
+}
+
+// Sequences calls fn for every sequence the replica holds (running first,
+// then waiting); property tests use it to check KV invariants.
+func (r *Replica) Sequences(fn func(s *Seq)) {
+	for _, s := range r.running {
+		fn(s)
+	}
+	for _, s := range r.waiting {
+		fn(s)
+	}
+}
+
+// Enqueue accepts a request into the waiting queue, kicking the iteration
+// loop if the replica was idle. It returns false when the queue is at
+// capacity (the caller sheds the request).
+func (r *Replica) Enqueue(now sim.Time, req workload.Request) bool {
+	if len(r.waiting) >= r.cfg.QueueCap {
+		r.stats.Dropped++
+		return false
+	}
+	s := &Seq{Req: req, Enqueued: now, prefillTarget: req.Input, firstTokenAt: -1, lastTokenAt: -1}
+	if s.prefillTarget < 1 {
+		s.prefillTarget = 1
+	}
+	r.waiting = append(r.waiting, s)
+	if !r.iterActive {
+		r.startIteration(now)
+	}
+	return true
+}
+
+// Fail drops every sequence the replica holds (running and waiting) and
+// cancels the in-flight iteration — the node died under it. The replica
+// revives cold on the next Enqueue.
+func (r *Replica) Fail(now sim.Time) {
+	if r.iterActive {
+		r.iterTimer.Stop()
+		r.iterActive = false
+	}
+	for _, s := range r.running {
+		r.freeKV(s)
+		s.chunk, s.steps = 0, 0
+		r.stats.Dropped++
+		if r.OnDrop != nil {
+			r.OnDrop(s, now, "node-death")
+		}
+	}
+	for _, s := range r.waiting {
+		r.stats.Dropped++
+		if r.OnDrop != nil {
+			r.OnDrop(s, now, "node-death")
+		}
+	}
+	r.running = nil
+	r.waiting = nil
+}
+
+// PowerAt returns the replica's current per-GPU power draw.
+func (r *Replica) PowerAt(now sim.Time) float64 {
+	if !r.iterActive {
+		return r.dev.Spec().IdleWatts
+	}
+	return r.iterExec.PowerAt(now - r.iterStart)
+}
+
+// Replan re-times the in-flight iteration under the device's current
+// settings — the row calls it when an OOB clock lock or the power brake
+// lands mid-iteration, mirroring the slot model's replan. The iteration's
+// outcome (which tokens it advances) is fixed at formation; only its
+// remaining duration and power change.
+func (r *Replica) Replan(now sim.Time) {
+	if !r.iterActive {
+		return
+	}
+	elapsed := now - r.iterStart
+	frac := 1.0
+	if r.iterExec.Duration > 0 {
+		frac = float64(elapsed) / float64(r.iterExec.Duration)
+	}
+	if frac >= 1 {
+		return // the completion event is already due at this instant
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	r.iterTimer.Stop()
+	r.iterPhase = r.iterPhase.Scale(1 - frac)
+	r.iterExec = r.dev.Run(r.iterPhase)
+	r.iterStart = now
+	r.iterTimer = r.eng.AfterCancelable(r.iterExec.Duration, r.finishIteration)
+}
+
+// startIteration forms and launches the next iteration, or parks the
+// replica if there is nothing to do.
+func (r *Replica) startIteration(now sim.Time) {
+	for {
+		promptToks, decodeSeqs, stride := r.formBatch(now)
+		if promptToks == 0 && decodeSeqs == 0 {
+			if len(r.running) > 0 {
+				// Every running sequence is KV-blocked mid-prefill with no
+				// decode work to free memory. Recompute the newest to make
+				// progress; each preemption frees KV, so this terminates.
+				if r.preemptNewest(now) {
+					continue
+				}
+			}
+			return
+		}
+		r.runIteration(now, promptToks, decodeSeqs, stride)
+		return
+	}
+}
+
+// formBatch plans the next iteration: it guarantees KV for the decode
+// steps (preempting newest-first under pressure), admits waiting sequences
+// under a conservative full-context reservation check, then hands out
+// prompt chunks within the token budget. All KV growth is reserved here,
+// before the iteration runs.
+func (r *Replica) formBatch(now sim.Time) (promptToks, decodeSeqs, stride int) {
+	decodeSeqs, minRemaining, prefillPending := r.decodeState()
+
+	// Guarantee one decode token per decoding sequence, recomputing the
+	// newest sequences until the growth fits.
+	for decodeSeqs > 0 && r.kvToks+decodeSeqs > r.kvCapToks {
+		if !r.preemptNewest(now) {
+			break
+		}
+		decodeSeqs, minRemaining, prefillPending = r.decodeState()
+	}
+
+	// Multi-step aggregation: only when the iteration would be pure decode
+	// with nothing waiting, and never past a completion boundary or the KV
+	// capacity.
+	stride = 1
+	if decodeSeqs > 0 && !prefillPending && len(r.waiting) == 0 && r.cfg.DecodeStride > 1 {
+		stride = r.cfg.DecodeStride
+		if stride > minRemaining {
+			stride = minRemaining
+		}
+		if fit := (r.kvCapToks - r.kvToks) / decodeSeqs; stride > fit {
+			stride = fit
+		}
+		if stride < 1 {
+			stride = 1
+		}
+	}
+
+	// Reserve the decode growth.
+	for _, s := range r.running {
+		if s.prefilled >= s.prefillTarget {
+			s.steps = stride
+			r.reserveKV(s, stride)
+		}
+	}
+
+	// Admit waiting sequences while their full remaining context fits on
+	// top of everything already promised (reserved KV plus the un-prefilled
+	// remainder of every running sequence). Conservative by design: an
+	// admitted sequence can always finish its prefill without evicting
+	// anyone.
+	projected := r.kvToks
+	for _, s := range r.running {
+		projected += s.prefillTarget - s.prefilled
+	}
+	for len(r.waiting) > 0 && len(r.running) < r.cfg.MaxBatchSize {
+		cand := r.waiting[0]
+		if projected+cand.prefillTarget > r.kvCapToks {
+			break
+		}
+		projected += cand.prefillTarget
+		r.waiting = r.waiting[1:]
+		r.running = append(r.running, cand)
+	}
+
+	// Hand out prompt chunks within the remaining token budget, clipped to
+	// the KV actually free right now (decode growth since admission can
+	// have consumed the conservative estimate).
+	budget := r.cfg.MaxBatchTokens - decodeSeqs
+	for _, s := range r.running {
+		if s.prefilled >= s.prefillTarget || budget <= 0 {
+			continue
+		}
+		chunk := s.prefillTarget - s.prefilled
+		if chunk > budget {
+			chunk = budget
+		}
+		if free := r.kvCapToks - r.kvToks; chunk > free {
+			chunk = free
+		}
+		if chunk <= 0 {
+			continue
+		}
+		s.chunk = chunk
+		r.reserveKV(s, chunk)
+		promptToks += chunk
+		budget -= chunk
+	}
+
+	if len(r.running) > r.stats.MaxRunning {
+		r.stats.MaxRunning = len(r.running)
+	}
+	r.noteHighWater(now)
+	return promptToks, decodeSeqs, stride
+}
+
+// decodeState counts decoding sequences, the smallest remaining output
+// among them, and whether any running sequence still has prefill to do.
+func (r *Replica) decodeState() (decodeSeqs, minRemaining int, prefillPending bool) {
+	for _, s := range r.running {
+		if s.prefilled < s.prefillTarget {
+			prefillPending = true
+			continue
+		}
+		rem := s.outputTarget() - s.decoded
+		if decodeSeqs == 0 || rem < minRemaining {
+			minRemaining = rem
+		}
+		decodeSeqs++
+	}
+	return decodeSeqs, minRemaining, prefillPending
+}
+
+// reserveKV books toks of KV growth for the sequence.
+func (r *Replica) reserveKV(s *Seq, toks int) {
+	if toks <= 0 {
+		return
+	}
+	s.kvRes += toks
+	r.kvToks += toks
+	r.stats.KVReservedTokens += int64(toks)
+}
+
+// freeKV releases everything the sequence has reserved.
+func (r *Replica) freeKV(s *Seq) {
+	r.kvToks -= s.kvRes
+	r.stats.KVFreedTokens += int64(s.kvRes)
+	s.kvRes = 0
+}
+
+// preemptNewest evicts the most recently admitted sequence that holds KV,
+// releasing its reservation and requeueing it at the head of the waiting
+// queue for recompute (its new prefill target covers the prompt plus the
+// tokens it had already generated). Returns false if no sequence holds KV.
+func (r *Replica) preemptNewest(now sim.Time) bool {
+	for i := len(r.running) - 1; i >= 0; i-- {
+		s := r.running[i]
+		if s.kvRes == 0 {
+			continue
+		}
+		freed := float64(s.kvRes) * float64(r.kvPerTok)
+		r.freeKV(s)
+		s.preempts++
+		s.prefilled = 0
+		s.kvTokens = 0
+		s.chunk, s.steps = 0, 0
+		s.prefillTarget = s.Req.Input + s.decoded
+		if s.prefillTarget < 1 {
+			s.prefillTarget = 1
+		}
+		r.running = append(r.running[:i], r.running[i+1:]...)
+		r.waiting = append(r.waiting, nil)
+		copy(r.waiting[1:], r.waiting)
+		r.waiting[0] = s
+		r.stats.Preemptions++
+		r.preemptCtr.Inc()
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{
+				At: now, Kind: obs.KindPreempt, Server: int32(r.idx), Pool: r.pool,
+				Value: freed, Reason: "kv-pressure",
+			})
+		}
+		return true
+	}
+	return false
+}
+
+// noteHighWater traces a new KV occupancy high water, quantized to 5% of
+// capacity so the event stream stays bounded.
+func (r *Replica) noteHighWater(now sim.Time) {
+	frac := r.KVFrac()
+	if frac > r.stats.KVHighWaterFrac {
+		r.stats.KVHighWaterFrac = frac
+	}
+	if frac < r.lastHW+0.05 {
+		return
+	}
+	r.lastHW = frac
+	r.stats.KVHighWaterEvents++
+	r.kvGauge.Set(frac)
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{
+			At: now, Kind: obs.KindKVHighWater, Server: int32(r.idx), Pool: r.pool,
+			Value: frac,
+		})
+	}
+}
+
+// runIteration synthesizes the planned batch into one GPU phase and runs
+// it on the device, which applies clock locks, power caps, and the brake
+// exactly as it does for slot-model phases.
+func (r *Replica) runIteration(now sim.Time, promptToks, decodeSeqs, stride int) {
+	m, dt := r.cfg.Model, r.cfg.DType
+	tp := float64(r.cfg.TensorParallel)
+
+	// A mixed or prefill iteration is one pass through the model; a
+	// multi-step decode iteration is stride passes, each streaming the
+	// weights once.
+	passes, tokensPerPass := 1, promptToks+decodeSeqs
+	if promptToks == 0 {
+		passes, tokensPerPass = stride, decodeSeqs
+	}
+
+	var pFLOPs, dFLOPs, bytes float64
+	for _, s := range r.running {
+		if s.chunk > 0 {
+			pFLOPs += m.PrefillChunkFLOPs(s.chunk, s.kvTokens)
+			bytes += m.PrefillChunkBytes(dt, s.chunk, s.kvTokens)
+		}
+		if s.steps > 0 {
+			dFLOPs += m.DecodeSpanFLOPs(s.steps, s.kvTokens)
+			bytes += m.DecodeSpanBytes(dt, s.steps, s.kvTokens)
+		}
+	}
+	flops := pFLOPs + dFLOPs
+	bytes += m.WeightBytes(dt) * dt.MemAmplification() * float64(passes)
+
+	// The power split interpolates between the compute-bound prompt spike
+	// and the memory-bound decode plateau by each side's share of the math.
+	tensorFrac := 0.9
+	if flops > 0 {
+		tensorFrac = (0.97*pFLOPs + 0.90*dFLOPs) / flops
+	}
+	name := "decode"
+	efficiency := 0.0 // decode GEMMs: the slot model's token-phase default
+	switch {
+	case promptToks > 0 && decodeSeqs > 0:
+		name = "mixed"
+		efficiency = plan.BatchEfficiency(tokensPerPass)
+	case promptToks > 0:
+		name = "prefill"
+		efficiency = plan.BatchEfficiency(tokensPerPass)
+	}
+
+	phase := gpu.Phase{
+		Name:            name,
+		DType:           dt,
+		FLOPs:           flops / tp,
+		MemBytes:        bytes / tp,
+		TensorFrac:      tensorFrac,
+		Efficiency:      efficiency,
+		CommSeconds:     float64(passes) * plan.AllReduceSeconds(m, dt, r.cfg.TensorParallel, tokensPerPass, r.cfg.NVLinkGBps),
+		OverheadSeconds: float64(passes) * plan.PassOverheadSeconds(m),
+	}
+	r.dev.SetMemUsedGB((r.weightsPerGPU + r.KVReservedBytes()) / 1e9)
+	exec := r.dev.Run(phase)
+	r.iterActive = true
+	r.iterPhase = phase
+	r.iterExec = exec
+	r.iterStart = now
+	r.iterTimer = r.eng.AfterCancelable(exec.Duration, r.finishIteration)
+
+	r.stats.Batches++
+	r.stats.EnergyJ += exec.Energy()
+	r.stats.PromptTokens += int64(promptToks)
+	r.stats.DecodeTokens += int64(decodeSeqs * stride)
+	r.batchCtr.Inc()
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{
+			At: now, Kind: obs.KindBatchForm, Server: int32(r.idx), Pool: r.pool,
+			Value: float64(promptToks + decodeSeqs*stride), Reason: name,
+		})
+	}
+}
+
+// finishIteration applies the iteration's planned token advances, retires
+// completed sequences, and chains into the next iteration.
+func (r *Replica) finishIteration(now sim.Time) {
+	r.iterActive = false
+	keep := r.running[:0]
+	for _, s := range r.running {
+		if s.chunk > 0 {
+			s.prefilled += s.chunk
+			s.kvTokens += s.chunk
+			s.chunk = 0
+			if s.prefilled >= s.prefillTarget {
+				// The pass that consumed the last prompt chunk also sampled
+				// an output token.
+				s.decoded++
+				if s.firstTokenAt < 0 {
+					s.firstTokenAt = now
+					if r.OnFirstToken != nil {
+						r.OnFirstToken(s, now)
+					}
+				}
+				s.lastTokenAt = now
+			}
+		}
+		if s.steps > 0 {
+			s.decoded += s.steps
+			s.kvTokens += s.steps
+			s.steps = 0
+			s.lastTokenAt = now
+		}
+		if s.decoded >= s.outputTarget() {
+			r.freeKV(s)
+			r.stats.Completed++
+			if r.OnComplete != nil {
+				r.OnComplete(s, now)
+			}
+			continue
+		}
+		keep = append(keep, s)
+	}
+	for i := len(keep); i < len(r.running); i++ {
+		r.running[i] = nil
+	}
+	r.running = keep
+	r.startIteration(now)
+}
+
+// String describes the replica's instantaneous state (for debugging).
+func (r *Replica) String() string {
+	return fmt.Sprintf("replica %d: %d running, %d waiting, KV %.0f%%",
+		r.idx, len(r.running), len(r.waiting), r.KVFrac()*100)
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+
+	"polca/internal/workload"
+)
+
+// Endpoint is one routable replica plus the row-level state the policies
+// need: the SM-clock lock currently applied to its server (0 = uncapped).
+type Endpoint struct {
+	Rep       *Replica
+	CappedMHz float64
+}
+
+// Router picks a replica for an arriving request. Implementations must be
+// deterministic — ties break on the lowest endpoint index, and no policy
+// draws randomness — so serve-mode runs stay byte-identical across reruns.
+type Router interface {
+	Name() string
+	// Pick returns the index into eps to route the request to, or -1 if
+	// eps is empty.
+	Pick(eps []Endpoint, req workload.Request) int
+}
+
+// RouterNames lists the available policies in a stable order.
+func RouterNames() []string {
+	return []string{"round-robin", "least-queue", "least-kv", "power-aware"}
+}
+
+// NewRouter builds a routing policy by name.
+func NewRouter(name string) (Router, error) {
+	switch name {
+	case "round-robin":
+		return &roundRobin{}, nil
+	case "least-queue":
+		return leastQueue{}, nil
+	case "least-kv":
+		return leastKV{}, nil
+	case "power-aware":
+		return powerAware{}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown router %q (have %v)", name, RouterNames())
+}
+
+// roundRobin cycles through the endpoints regardless of load.
+type roundRobin struct{ next int }
+
+func (r *roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Pick(eps []Endpoint, _ workload.Request) int {
+	if len(eps) == 0 {
+		return -1
+	}
+	i := r.next % len(eps)
+	r.next = i + 1
+	return i
+}
+
+// leastQueue routes to the replica with the fewest sequences in flight
+// (waiting plus running) — the classic load balancer.
+type leastQueue struct{}
+
+func (leastQueue) Name() string { return "least-queue" }
+
+func (leastQueue) Pick(eps []Endpoint, _ workload.Request) int {
+	best := -1
+	for i := range eps {
+		if best < 0 || eps[i].Rep.Load() < eps[best].Rep.Load() {
+			best = i
+		}
+	}
+	return best
+}
+
+// leastKV routes to the replica with the most free KV cache, which spreads
+// long-context work away from memory-pressured replicas and so minimizes
+// preemptions.
+type leastKV struct{}
+
+func (leastKV) Name() string { return "least-kv" }
+
+func (leastKV) Pick(eps []Endpoint, _ workload.Request) int {
+	best := -1
+	for i := range eps {
+		if best < 0 || eps[i].Rep.KVFrac() < eps[best].Rep.KVFrac() {
+			best = i
+		}
+	}
+	return best
+}
+
+// powerAware steers low-priority work toward frequency-capped replicas and
+// keeps high-priority work on uncapped ones, concentrating the latency
+// penalty of POLCA's caps on the traffic that tolerates it (the paper's
+// priority argument, applied at routing time). Within the preferred set it
+// falls back to least-queue; if the preferred set is empty it considers
+// everyone.
+type powerAware struct{}
+
+func (powerAware) Name() string { return "power-aware" }
+
+func (powerAware) Pick(eps []Endpoint, req workload.Request) int {
+	wantCapped := req.Priority == workload.Low
+	best, bestPreferred := -1, false
+	for i := range eps {
+		preferred := (eps[i].CappedMHz > 0) == wantCapped
+		switch {
+		case best < 0,
+			preferred && !bestPreferred,
+			preferred == bestPreferred && eps[i].Rep.Load() < eps[best].Rep.Load():
+			best, bestPreferred = i, preferred
+		}
+	}
+	return best
+}

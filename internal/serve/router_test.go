@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"testing"
+
+	"polca/internal/workload"
+)
+
+// fakeReplica builds a bare replica with the given load and KV occupancy;
+// the routing policies read nothing else.
+func fakeReplica(load, kvToks, kvCap int) *Replica {
+	return &Replica{waiting: make([]*Seq, load), kvToks: kvToks, kvCapToks: kvCap}
+}
+
+func eps(reps ...*Replica) []Endpoint {
+	out := make([]Endpoint, len(reps))
+	for i, r := range reps {
+		out[i] = Endpoint{Rep: r}
+	}
+	return out
+}
+
+func TestRouterNamesRoundTrip(t *testing.T) {
+	for _, name := range RouterNames() {
+		rt, err := NewRouter(name)
+		if err != nil {
+			t.Fatalf("NewRouter(%q): %v", name, err)
+		}
+		if rt.Name() != name {
+			t.Errorf("NewRouter(%q).Name() = %q", name, rt.Name())
+		}
+	}
+	if _, err := NewRouter("totally-bogus"); err == nil {
+		t.Error("unknown router accepted")
+	}
+}
+
+func TestRoutersEmptyEndpoints(t *testing.T) {
+	for _, name := range RouterNames() {
+		rt, _ := NewRouter(name)
+		if got := rt.Pick(nil, workload.Request{}); got != -1 {
+			t.Errorf("%s.Pick(empty) = %d, want -1", name, got)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rt, _ := NewRouter("round-robin")
+	e := eps(fakeReplica(9, 0, 1), fakeReplica(0, 0, 1), fakeReplica(5, 0, 1))
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := rt.Pick(e, workload.Request{}); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLeastQueuePicksMinLoadLowestIndex(t *testing.T) {
+	rt, _ := NewRouter("least-queue")
+	e := eps(fakeReplica(3, 0, 1), fakeReplica(1, 0, 1), fakeReplica(1, 0, 1))
+	if got := rt.Pick(e, workload.Request{}); got != 1 {
+		t.Errorf("pick = %d, want 1 (lowest index among ties)", got)
+	}
+}
+
+func TestLeastKVPicksEmptiestCache(t *testing.T) {
+	rt, _ := NewRouter("least-kv")
+	e := eps(fakeReplica(0, 5, 10), fakeReplica(0, 2, 10), fakeReplica(0, 2, 10))
+	if got := rt.Pick(e, workload.Request{}); got != 1 {
+		t.Errorf("pick = %d, want 1 (least KV, lowest index among ties)", got)
+	}
+}
+
+func TestPowerAwareSteering(t *testing.T) {
+	rt, _ := NewRouter("power-aware")
+	// Replica 0: uncapped, idle. Replicas 1, 2: frequency-capped, with
+	// replica 2 less loaded.
+	e := []Endpoint{
+		{Rep: fakeReplica(0, 0, 1)},
+		{Rep: fakeReplica(5, 0, 1), CappedMHz: 1200},
+		{Rep: fakeReplica(1, 0, 1), CappedMHz: 1200},
+	}
+	low := workload.Request{Priority: workload.Low}
+	high := workload.Request{Priority: workload.High}
+	if got := rt.Pick(e, low); got != 2 {
+		t.Errorf("low-priority pick = %d, want 2 (least-loaded capped)", got)
+	}
+	if got := rt.Pick(e, high); got != 0 {
+		t.Errorf("high-priority pick = %d, want 0 (uncapped)", got)
+	}
+
+	// No capped replica at all: low priority falls back to least-queue
+	// across everyone.
+	uncapped := eps(fakeReplica(4, 0, 1), fakeReplica(2, 0, 1))
+	if got := rt.Pick(uncapped, low); got != 1 {
+		t.Errorf("fallback pick = %d, want 1", got)
+	}
+}

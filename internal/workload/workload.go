@@ -185,6 +185,17 @@ func (s *Sampler) uniformInt(lo, hi int) int {
 	return lo + s.rng.Intn(hi-lo+1)
 }
 
+// Names returns the class names in declaration order — the stable
+// iteration order reports and experiments use for per-class breakdowns
+// (Go map iteration would shuffle them run to run).
+func Names(classes []Class) []string {
+	out := make([]string, len(classes))
+	for i, c := range classes {
+		out[i] = c.Name
+	}
+	return out
+}
+
 // MeanTokens returns the expected prompt and output token counts of the
 // mix, used for service-time estimation when fitting traces.
 func MeanTokens(classes []Class) (prompt, output float64) {

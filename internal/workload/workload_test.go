@@ -176,3 +176,19 @@ func TestNewSamplerPanicsOnBadTable(t *testing.T) {
 	}()
 	NewSampler([]Class{{Name: "x", PromptMin: 1, PromptMax: 2, Share: 0.1}}, rand.New(rand.NewSource(1)))
 }
+
+func TestNamesStableOrder(t *testing.T) {
+	got := Names(Table6())
+	want := []string{"summarize", "search", "chat"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want declaration order %v", got, want)
+		}
+	}
+	if n := Names(nil); len(n) != 0 {
+		t.Errorf("Names(nil) = %v, want empty", n)
+	}
+}
