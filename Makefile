@@ -46,13 +46,14 @@ build:
 test:
 	$(GO) test -race -timeout 45m ./...
 
-# bench-smoke runs the engine, tracer, and serving-scheduler
+# bench-smoke runs the engine, tracer, serving-scheduler, and quantile-sketch
 # micro-benchmarks briefly — enough to catch an allocation regression on the
-# event path, on the disabled observability fast path, or in the
-# continuous-batching iteration loop without paying for a full run.
+# event path, on the disabled observability fast paths (tracer and span
+# tracer), in the continuous-batching iteration loop, or in the t-digest Add
+# path without paying for a full run.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Engine|Tracer|Scheduler' -benchmem -benchtime 200000x . ./internal/serve
+	$(GO) test -run '^$$' -bench 'Engine|Tracer|Scheduler|Quantile' -benchmem -benchtime 200000x . ./internal/serve ./internal/obs
 
 # bench runs every benchmark, including full artifact regeneration.
 .PHONY: bench

@@ -1,0 +1,355 @@
+// Command polca-analyze reads the request-span JSONL that `polca-sim -serve
+// -spans out.jsonl` writes and produces an offline latency/energy report:
+// where TTFT (time to first token) is spent on the critical path — queueing,
+// prefill, preemption recompute, cap-induced slowdown — per-class latency
+// and energy percentile tables computed exactly from the spans, and the
+// top-K slowest and most energy-expensive requests.
+//
+// Usage:
+//
+//	polca-analyze [-top 10] spans.jsonl
+//
+// The input's `#` provenance header is echoed so reports stay
+// self-describing. All percentiles here are exact (computed over every
+// request in the trace); the simulator's own report uses a streaming
+// quantile sketch, so the two agree to within the sketch's rank guarantee.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"polca/internal/obs"
+	"polca/internal/stats"
+)
+
+func main() {
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cli runs the analyzer; split from main so tests drive it end to end.
+func cli(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("polca-analyze", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	top := fs.Int("top", 10, "rows in the top-K slowest/most-expensive tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(errw, "usage: polca-analyze [-top N] spans.jsonl")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(errw, "error:", err)
+		return 1
+	}
+	defer f.Close()
+	report, err := Analyze(f, *top)
+	if err != nil {
+		fmt.Fprintln(errw, "error:", err)
+		return 1
+	}
+	fmt.Fprint(out, report)
+	return 0
+}
+
+// request is one span tree folded into per-request aggregates.
+type request struct {
+	root obs.Span
+	// critical-path components inside the [arrival, first token] window,
+	// in seconds
+	queue, prefill, recompute, stall float64
+	preempts                         int
+}
+
+// latencySec is the request's total residency (arrival to completion/drop).
+func (r *request) latencySec() float64 { return (r.root.End - r.root.Start).Seconds() }
+
+// Analyze reads span JSONL and renders the offline report.
+func Analyze(r io.Reader, top int) (string, error) {
+	header, spans, err := readWithHeader(r)
+	if err != nil {
+		return "", err
+	}
+	reqs, err := fold(spans)
+	if err != nil {
+		return "", err
+	}
+	if len(reqs) == 0 {
+		return "", fmt.Errorf("no request spans in input")
+	}
+
+	var b strings.Builder
+	for _, line := range header {
+		fmt.Fprintln(&b, line)
+	}
+	if len(header) > 0 {
+		fmt.Fprintln(&b)
+	}
+	writeOverview(&b, reqs)
+	writeCriticalPath(&b, reqs)
+	writeClassTable(&b, reqs)
+	writeTopK(&b, reqs, top)
+	return b.String(), nil
+}
+
+// readWithHeader splits the input into its `#` provenance header and the
+// parsed spans. The reader tees the raw bytes because obs.ReadSpans skips
+// comment lines itself.
+func readWithHeader(r io.Reader) ([]string, []obs.Span, error) {
+	var raw strings.Builder
+	if _, err := io.Copy(&raw, r); err != nil {
+		return nil, nil, err
+	}
+	var header []string
+	sc := bufio.NewScanner(strings.NewReader(raw.String()))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			header = append(header, line)
+		}
+	}
+	spans, err := obs.ReadSpans(strings.NewReader(raw.String()))
+	if err != nil {
+		return nil, nil, err
+	}
+	return header, spans, nil
+}
+
+// fold groups spans by request and derives the critical-path breakdown:
+// child spans clipped to the [arrival, arrival+TTFT] window, since the time
+// to first token is what the breakdown explains. Decode time never appears
+// in the window (the first token rides the final prefill chunk); whatever
+// the children leave uncovered is scheduler stall between iterations.
+func fold(spans []obs.Span) ([]*request, error) {
+	byReq := map[int64]*request{}
+	var order []int64
+	for _, sp := range spans {
+		if sp.Kind != obs.SpanRequest {
+			continue
+		}
+		if _, dup := byReq[sp.Req]; dup {
+			return nil, fmt.Errorf("request %d has two root spans", sp.Req)
+		}
+		byReq[sp.Req] = &request{root: sp}
+		order = append(order, sp.Req)
+	}
+	for _, sp := range spans {
+		if sp.Kind == obs.SpanRequest {
+			continue
+		}
+		req := byReq[sp.Req]
+		if req == nil {
+			return nil, fmt.Errorf("span %d/%d has no request root", sp.Req, sp.ID)
+		}
+		if sp.Kind == obs.SpanPreempt {
+			req.preempts++
+			continue
+		}
+		if req.root.TTFTSec < 0 {
+			continue // never produced a token: no critical path to split
+		}
+		windowEnd := req.root.Start + time.Duration(req.root.TTFTSec*float64(time.Second))
+		clipped := clip(sp.Start, sp.End, req.root.Start, windowEnd)
+		switch sp.Kind {
+		case obs.SpanQueue:
+			req.queue += clipped
+		case obs.SpanPrefill:
+			if sp.Recompute {
+				req.recompute += clipped
+			} else {
+				req.prefill += clipped
+			}
+		}
+	}
+	reqs := make([]*request, 0, len(order))
+	for _, id := range order {
+		req := byReq[id]
+		if req.root.TTFTSec >= 0 {
+			if stall := req.root.TTFTSec - req.queue - req.prefill - req.recompute; stall > 0 {
+				req.stall = stall
+			}
+		}
+		reqs = append(reqs, req)
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].root.Req < reqs[j].root.Req })
+	return reqs, nil
+}
+
+// clip returns the seconds of [s, e] that fall inside [lo, hi].
+func clip(s, e, lo, hi time.Duration) float64 {
+	if s < lo {
+		s = lo
+	}
+	if e > hi {
+		e = hi
+	}
+	if e <= s {
+		return 0
+	}
+	return (e - s).Seconds()
+}
+
+func writeOverview(b *strings.Builder, reqs []*request) {
+	var energy, capSec, capJ float64
+	var tokens int64
+	completed, dropped, preempted := 0, 0, 0
+	for _, r := range reqs {
+		energy += r.root.EnergyJ
+		capSec += r.root.CapSec
+		capJ += r.root.CapJ
+		tokens += int64(r.root.Tokens)
+		if r.root.Reason == "" {
+			completed++
+		} else {
+			dropped++
+		}
+		if r.root.Preempts > 0 {
+			preempted++
+		}
+	}
+	fmt.Fprintf(b, "Requests: %d (%d completed, %d dropped, %d preempted at least once)\n",
+		len(reqs), completed, dropped, preempted)
+	jPerTok := 0.0
+	if tokens > 0 {
+		jPerTok = energy / float64(tokens)
+	}
+	fmt.Fprintf(b, "Energy: %.2f kJ attributed across %d generated tokens (%.1f J/token)\n",
+		energy/1e3, tokens, jPerTok)
+	fmt.Fprintf(b, "Cap slowdown: %+.1f request-seconds, %+.2f kJ vs the DVFS-uncapped counterfactual\n\n",
+		capSec, capJ/1e3)
+}
+
+// writeCriticalPath explains where TTFT goes: exact percentiles of each
+// component and its share of the summed TTFT.
+func writeCriticalPath(b *strings.Builder, reqs []*request) {
+	var ttft, queue, prefill, recompute, stall, capSec []float64
+	var totTTFT float64
+	for _, r := range reqs {
+		if r.root.TTFTSec < 0 {
+			continue
+		}
+		ttft = append(ttft, r.root.TTFTSec)
+		queue = append(queue, r.queue)
+		prefill = append(prefill, r.prefill)
+		recompute = append(recompute, r.recompute)
+		stall = append(stall, r.stall)
+		capSec = append(capSec, r.root.CapSec)
+		totTTFT += r.root.TTFTSec
+	}
+	if len(ttft) == 0 {
+		fmt.Fprintf(b, "Critical path: no request produced a first token\n\n")
+		return
+	}
+	fmt.Fprintf(b, "TTFT critical path (%d requests with a first token):\n", len(ttft))
+	fmt.Fprintf(b, "%-22s %10s %10s %10s %8s\n", "Component", "mean (s)", "p50 (s)", "p99 (s)", "share")
+	row := func(name string, xs []float64) {
+		share := 0.0
+		if totTTFT > 0 {
+			share = stats.Sum(xs) / totTTFT
+		}
+		fmt.Fprintf(b, "%-22s %10.3f %10.3f %10.3f %7.1f%%\n",
+			name, stats.Mean(xs), stats.Percentile(xs, 50), stats.Percentile(xs, 99), share*100)
+	}
+	row("queue wait", queue)
+	row("prefill", prefill)
+	row("preemption recompute", recompute)
+	row("scheduler stall", stall)
+	row("ttft total", ttft)
+	fmt.Fprintf(b, "%-22s %10.3f %10.3f %10.3f %8s\n",
+		"cap slowdown (request)", stats.Mean(capSec), stats.Percentile(capSec, 50),
+		stats.Percentile(capSec, 99), "-")
+	fmt.Fprintln(b)
+}
+
+func writeClassTable(b *strings.Builder, reqs []*request) {
+	type agg struct {
+		ttft, lat, energy []float64
+		capSec            float64
+		tokens            int64
+	}
+	classes := map[string]*agg{}
+	var names []string
+	for _, r := range reqs {
+		name := r.root.Class
+		if name == "" {
+			name = "(none)"
+		}
+		a := classes[name]
+		if a == nil {
+			a = &agg{}
+			classes[name] = a
+			names = append(names, name)
+		}
+		if r.root.TTFTSec >= 0 {
+			a.ttft = append(a.ttft, r.root.TTFTSec)
+		}
+		a.lat = append(a.lat, r.latencySec())
+		a.energy = append(a.energy, r.root.EnergyJ)
+		a.capSec += r.root.CapSec
+		a.tokens += int64(r.root.Tokens)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "Per-class latency and energy (exact percentiles over the trace):\n")
+	fmt.Fprintf(b, "%-12s %6s %9s %9s %9s %9s %10s %10s %9s %9s\n",
+		"Class", "reqs", "TTFT p50", "TTFT p99", "lat p50", "lat p99", "J p50", "J p99", "J/token", "cap (s)")
+	for _, name := range names {
+		a := classes[name]
+		jPerTok := 0.0
+		if a.tokens > 0 {
+			jPerTok = stats.Sum(a.energy) / float64(a.tokens)
+		}
+		fmt.Fprintf(b, "%-12s %6d %9.3f %9.3f %9.2f %9.2f %10.1f %10.1f %9.1f %9.1f\n",
+			name, len(a.lat),
+			stats.Percentile(a.ttft, 50), stats.Percentile(a.ttft, 99),
+			stats.Percentile(a.lat, 50), stats.Percentile(a.lat, 99),
+			stats.Percentile(a.energy, 50), stats.Percentile(a.energy, 99),
+			jPerTok, a.capSec)
+	}
+	fmt.Fprintln(b)
+}
+
+func writeTopK(b *strings.Builder, reqs []*request, top int) {
+	if top <= 0 {
+		return
+	}
+	byTTFT := make([]*request, 0, len(reqs))
+	for _, r := range reqs {
+		if r.root.TTFTSec >= 0 {
+			byTTFT = append(byTTFT, r)
+		}
+	}
+	sort.SliceStable(byTTFT, func(i, j int) bool { return byTTFT[i].root.TTFTSec > byTTFT[j].root.TTFTSec })
+	writeRanked(b, fmt.Sprintf("Top %d slowest first tokens:", min(top, len(byTTFT))), byTTFT, top)
+
+	byEnergy := append([]*request(nil), reqs...)
+	sort.SliceStable(byEnergy, func(i, j int) bool { return byEnergy[i].root.EnergyJ > byEnergy[j].root.EnergyJ })
+	writeRanked(b, fmt.Sprintf("Top %d most energy-expensive:", min(top, len(byEnergy))), byEnergy, top)
+}
+
+func writeRanked(b *strings.Builder, title string, ranked []*request, top int) {
+	fmt.Fprintln(b, title)
+	fmt.Fprintf(b, "%8s %-12s %6s %8s %9s %9s %9s %8s %8s\n",
+		"req", "class", "server", "TTFT (s)", "lat (s)", "J", "cap (s)", "tokens", "preempts")
+	for i, r := range ranked {
+		if i >= top {
+			break
+		}
+		ttft := "-"
+		if r.root.TTFTSec >= 0 {
+			ttft = fmt.Sprintf("%.3f", r.root.TTFTSec)
+		}
+		fmt.Fprintf(b, "%8d %-12s %6d %8s %9.2f %9.1f %9.1f %8d %8d\n",
+			r.root.Req, r.root.Class, r.root.Server, ttft, r.latencySec(),
+			r.root.EnergyJ, r.root.CapSec, r.root.Tokens, r.root.Preempts)
+	}
+	fmt.Fprintln(b)
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"polca/internal/obs"
+	"polca/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.txt from the current output")
+
+// TestGolden runs the full CLI on the committed fixture (a deterministic
+// serving run under KV pressure and clock capping — see testdata/gen.go)
+// and compares against the golden report byte for byte.
+func TestGolden(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli([]string{"-top", "5", "testdata/spans.jsonl"}, &out, &errw); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errw.String())
+	}
+	if *update {
+		if err := os.WriteFile("testdata/golden.txt", out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden.txt updated")
+		return
+	}
+	want, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output differs from golden (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+}
+
+// TestReproducesReportPercentiles is the acceptance criterion: the p99 TTFT
+// the simulator's report derives from its streaming sketch must be
+// recomputable from the span JSONL alone. On the fixture every class holds
+// few requests, so the sketch still stores singletons and the two numbers
+// agree exactly.
+func TestReproducesReportPercentiles(t *testing.T) {
+	f, err := os.Open("testdata/spans.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttftByClass := map[string][]float64{}
+	digests := map[string]*obs.Digest{}
+	for _, sp := range spans {
+		if sp.Kind != obs.SpanRequest || sp.TTFTSec < 0 {
+			continue
+		}
+		ttftByClass[sp.Class] = append(ttftByClass[sp.Class], sp.TTFTSec)
+		d := digests[sp.Class]
+		if d == nil {
+			d = obs.NewDigest(obs.DefaultCompression)
+			digests[sp.Class] = d
+		}
+		d.Add(sp.TTFTSec)
+	}
+	if len(ttftByClass) < 2 {
+		t.Fatalf("fixture has %d classes, want several", len(ttftByClass))
+	}
+
+	var outBuf, errBuf bytes.Buffer
+	if code := cli([]string{"testdata/spans.jsonl"}, &outBuf, &errBuf); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errBuf.String())
+	}
+	report := outBuf.String()
+	for class, xs := range ttftByClass {
+		exact := stats.Percentile(xs, 99)
+		sketch := digests[class].Percentile(99)
+		if exact != sketch {
+			t.Errorf("%s: sketch p99 %.6f != exact %.6f on a singleton-resolution sample", class, sketch, exact)
+		}
+		cell := fmt.Sprintf("%9.3f", exact)
+		found := false
+		for _, line := range strings.Split(report, "\n") {
+			if strings.HasPrefix(line, class) && strings.Contains(line, cell) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: report does not show the exact p99 TTFT %s", class, strings.TrimSpace(cell))
+		}
+	}
+}
+
+// TestAnalyzeConservesFixtureEnergy cross-checks the fixture itself: child
+// span energies sum to each root, and the analyzer's overview total equals
+// the sum over roots.
+func TestAnalyzeConservesFixtureEnergy(t *testing.T) {
+	f, err := os.Open("testdata/spans.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootJ := map[int64]float64{}
+	childJ := map[int64]float64{}
+	for _, sp := range spans {
+		if sp.Kind == obs.SpanRequest {
+			rootJ[sp.Req] = sp.EnergyJ
+		} else {
+			childJ[sp.Req] += sp.EnergyJ
+		}
+	}
+	var total float64
+	for req, j := range rootJ {
+		total += j
+		if d := childJ[req] - j; d > 1e-6 || d < -1e-6 {
+			t.Errorf("req %d: children sum %.3f J, root %.3f J", req, childJ[req], j)
+		}
+	}
+	var out, errw bytes.Buffer
+	if code := cli([]string{"testdata/spans.jsonl"}, &out, &errw); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errw.String())
+	}
+	wantLine := fmt.Sprintf("Energy: %.2f kJ", total/1e3)
+	if !strings.Contains(out.String(), wantLine) {
+		t.Errorf("overview missing %q", wantLine)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli([]string{}, &out, &errw); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := cli([]string{"testdata/definitely-missing.jsonl"}, &out, &errw); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	bad := strings.NewReader(`{"req":1,"id":1,"kind":"zebra","start_us":0,"end_us":1}` + "\n")
+	if _, err := Analyze(bad, 5); err == nil {
+		t.Error("Analyze accepted an unknown span kind")
+	}
+	if _, err := Analyze(strings.NewReader(""), 5); err == nil {
+		t.Error("Analyze accepted an empty trace")
+	}
+}

@@ -1,0 +1,83 @@
+//go:build ignore
+
+// gen regenerates spans.jsonl, the golden-test fixture: a small
+// deterministic serving run under KV pressure and a mid-run clock-lock
+// retarget, so the fixture exercises queueing, chunked prefill, preemption
+// recompute, decode coalescing, and cap-slowdown attribution. Run from this
+// directory:
+//
+//	go run gen.go
+//
+// Then refresh the golden report with `go test .. -run TestGolden -update`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"polca/internal/gpu"
+	"polca/internal/llm"
+	"polca/internal/obs"
+	"polca/internal/serve"
+	"polca/internal/sim"
+	"polca/internal/workload"
+)
+
+func main() {
+	eng := sim.New(3)
+	tracer := obs.NewSpanTracer()
+	eng.SetObserver(&obs.Observer{Spans: tracer})
+
+	// The serve package's KV-pressure scenario: ~3786 KV tokens per GPU, so
+	// a dozen mid-size requests force preemptions.
+	spec := gpu.A100SXM80GB()
+	spec.MemoryGB = 51
+	cfg := serve.Config{Model: llm.MustByName("BLOOM-176B"), DType: llm.FP16, DecodeStride: 4}
+	dev := gpu.NewDevice(spec)
+	rep, err := serve.NewReplica(eng, cfg, dev, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	dev.LockClock(1100)
+	classes := []string{"chat", "search", "code"}
+	for i := 0; i < 12; i++ {
+		i := i
+		at := time.Duration(i) * 2 * time.Second
+		eng.At(at, func(now sim.Time) {
+			rep.Enqueue(now, workload.Request{
+				ID: int64(i + 1), Arrival: now, Class: classes[i%len(classes)],
+				Input: 600, Output: 300,
+			})
+		})
+	}
+	// Retarget the lock mid-run (banks partial iteration energy) and engage
+	// the brake for a window, as POLCA would.
+	eng.At(20*time.Second, func(now sim.Time) { dev.LockClock(900); rep.Replan(now) })
+	eng.At(40*time.Second, func(now sim.Time) { dev.SetBrake(true); rep.Replan(now) })
+	eng.At(60*time.Second, func(now sim.Time) { dev.SetBrake(false); rep.Replan(now) })
+	eng.RunUntil(time.Hour)
+	if !rep.Idle() {
+		panic("fixture run did not drain")
+	}
+
+	f, err := os.Create("spans.jsonl")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	prov := obs.Provenance{
+		"tool": "polca-sim", "policy": "recording-fixture", "seed": 3,
+		"serve": true, "router": "least-queue", "git": "unknown",
+	}
+	if err := obs.WriteProvenance(f, prov); err != nil {
+		panic(err)
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		panic(err)
+	}
+	st := rep.Stats()
+	fmt.Printf("wrote spans.jsonl: %d spans, %d preemptions, %.0f J, cap +%.1f s\n",
+		tracer.Len(), st.Preemptions, st.EnergyJ, st.CapExtraSec)
+}

@@ -44,8 +44,13 @@
 // as JSONL, -perfetto writes the same stream as Chrome trace-event JSON for
 // chrome://tracing or ui.perfetto.dev, and -http serves live /metrics
 // (Prometheus text), /progress, and /debug/pprof while the simulation runs.
-// Tracing never changes results; with it off the instrumentation costs one
-// nil check per site. Both trace flags take per-policy suffixes like -csv.
+// In serve mode, -spans additionally writes per-request span trees
+// (request → queue → prefill chunks → decode runs → preemptions) with
+// per-request energy and cap-slowdown attribution as JSONL — the input of
+// cmd/polca-analyze — and -spans-perfetto renders the same trees on
+// per-request Perfetto tracks. Tracing never changes results; with it off
+// the instrumentation costs one nil check per site. All trace flags take
+// per-policy suffixes like -csv.
 package main
 
 import (
@@ -81,11 +86,13 @@ type runOpts struct {
 	guard        bool
 	faults       string // canonical DSL form, for reports and provenance
 	retrain      bool
-	reqs         []workload.Request // non-nil replays a recorded trace
-	csvPath      string
-	tracePath    string
-	perfettoPath string
-	obs          *obs.Observer
+	reqs              []workload.Request // non-nil replays a recorded trace
+	csvPath           string
+	tracePath         string
+	perfettoPath      string
+	spansPath         string
+	spansPerfettoPath string
+	obs               *obs.Observer
 }
 
 func main() {
@@ -112,6 +119,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent policy simulations (0 = GOMAXPROCS)")
 	tracePath := flag.String("trace", "", "write the structured event stream to this JSONL file")
 	perfettoPath := flag.String("perfetto", "", "write the event stream as Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)")
+	spansPath := flag.String("spans", "", "write per-request span trees with energy attribution (serve mode) to this JSONL file, for polca-analyze")
+	spansPerfetto := flag.String("spans-perfetto", "", "write per-request spans as Chrome trace-event JSON on per-request tracks")
 	httpAddr := flag.String("http", "", "serve live /metrics, /progress, and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -166,7 +175,7 @@ func main() {
 	// One shared metrics registry for every policy run (scoped by a policy
 	// label); tracers are per run so event streams don't interleave.
 	var registry *obs.Registry
-	if *httpAddr != "" || *tracePath != "" || *perfettoPath != "" {
+	if *httpAddr != "" || *tracePath != "" || *perfettoPath != "" || *spansPath != "" || *spansPerfetto != "" {
 		registry = obs.NewRegistry()
 	}
 	if *httpAddr != "" {
@@ -189,15 +198,20 @@ func main() {
 			if *tracePath != "" || *perfettoPath != "" {
 				observer.Tracer = obs.NewTracer()
 			}
+			if *spansPath != "" || *spansPerfetto != "" {
+				observer.Spans = obs.NewSpanTracer()
+			}
 		}
 		opts := runOpts{
 			policy: p, cfg: cfg, days: *days, seed: *seed,
 			t1: *t1, t2: *t2, guard: *guard, faults: spec.String(),
 			retrain: *retrain, reqs: reqs,
-			csvPath:      policyCSVPath(*csvPath, p, len(policies) > 1),
-			tracePath:    policyCSVPath(*tracePath, p, len(policies) > 1),
-			perfettoPath: policyCSVPath(*perfettoPath, p, len(policies) > 1),
-			obs:          observer,
+			csvPath:           policyCSVPath(*csvPath, p, len(policies) > 1),
+			tracePath:         policyCSVPath(*tracePath, p, len(policies) > 1),
+			perfettoPath:      policyCSVPath(*perfettoPath, p, len(policies) > 1),
+			spansPath:         policyCSVPath(*spansPath, p, len(policies) > 1),
+			spansPerfettoPath: policyCSVPath(*spansPerfetto, p, len(policies) > 1),
+			obs:               observer,
 		}
 		wg.Add(1)
 		go func(i int, opts runOpts) {
@@ -331,15 +345,25 @@ func runOne(o runOpts) (string, error) {
 		fmt.Fprintf(&b, "\nServe: %d batches, %d preemptions, peak batch %d, KV high water %.0f%%\n",
 			s.Batches, s.Preemptions, s.MaxRunning, s.KVHighWaterFrac*100)
 		fmt.Fprintf(&b, "Tokens: %d prompt, %d decode\n", s.PromptTokens, s.DecodeTokens)
-		fmt.Fprintf(&b, "%-12s %10s %12s %13s\n", "Class", "requests", "p99 TTFT (s)", "p99 TBT (ms)")
+		jPerTok := 0.0
+		if s.DecodeTokens > 0 {
+			jPerTok = s.EnergyJ / float64(s.DecodeTokens)
+		}
+		fmt.Fprintf(&b, "Energy: %.2f MJ attributed to requests (%.1f J per generated token); cap slowdown %+.0f s, %+.3f MJ vs uncapped\n",
+			s.EnergyJ/1e6, jPerTok, s.CapExtraSec, s.CapDeltaJ/1e6)
+		fmt.Fprintf(&b, "%-12s %10s %12s %13s %10s\n", "Class", "requests", "p99 TTFT (s)", "p99 TBT (ms)", "J/token")
 		for _, name := range workload.Names(cfg.Classes) {
-			ttft := m.TTFTSec[name]
-			tbt := m.TBTSec[name]
-			if len(ttft) == 0 && len(tbt) == 0 {
+			ttft := m.TTFT[name]
+			tbt := m.TBT[name]
+			if ttft.Count() == 0 && tbt.Count() == 0 {
 				continue
 			}
-			fmt.Fprintf(&b, "%-12s %10d %12.2f %13.1f\n", name, len(tbt),
-				stats.Percentile(ttft, 99), stats.Percentile(tbt, 99)*1000)
+			classJTok := 0.0
+			if t := m.ClassTokens[name]; t > 0 {
+				classJTok = m.ClassEnergyJ[name] / float64(t)
+			}
+			fmt.Fprintf(&b, "%-12s %10d %12.2f %13.1f %10.1f\n", name, tbt.Count(),
+				ttft.Percentile(99), tbt.Percentile(99)*1000, classJTok)
 		}
 	}
 
@@ -369,6 +393,25 @@ func runOne(o runOpts) (string, error) {
 				return "", fmt.Errorf("perfetto: %w", err)
 			}
 			fmt.Fprintf(&b, "Perfetto trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", o.perfettoPath)
+		}
+	}
+	if sp := o.obs.SpanSink(); sp != nil {
+		if o.spansPath != "" {
+			if err := writeTrace(o.spansPath, func(w io.Writer) error {
+				if err := obs.WriteProvenance(w, prov); err != nil {
+					return err
+				}
+				return sp.WriteJSONL(w)
+			}); err != nil {
+				return "", fmt.Errorf("spans: %w", err)
+			}
+			fmt.Fprintf(&b, "\nRequest spans (%d) written to %s (analyze with polca-analyze)\n", sp.Len(), o.spansPath)
+		}
+		if o.spansPerfettoPath != "" {
+			if err := writeTrace(o.spansPerfettoPath, sp.WriteChromeTrace); err != nil {
+				return "", fmt.Errorf("spans-perfetto: %w", err)
+			}
+			fmt.Fprintf(&b, "Request-span Perfetto trace written to %s (one track per request)\n", o.spansPerfettoPath)
 		}
 	}
 	return b.String(), nil

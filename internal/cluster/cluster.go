@@ -384,10 +384,16 @@ type Metrics struct {
 	Faults faults.Counts
 
 	// Serve-mode accounting (populated only when Config.Serve is non-nil).
-	// TTFTSec holds per-request time-to-first-token and TBTSec mean
-	// time-between-tokens samples, keyed by Table 6 class name.
-	TTFTSec map[string][]float64
-	TBTSec  map[string][]float64
+	// TTFT and TBT hold per-class streaming sketches of time-to-first-token
+	// and mean time-between-tokens (keyed by Table 6 class name) — bounded
+	// memory regardless of run length, unlike the full slices they replaced.
+	TTFT map[string]*obs.Digest
+	TBT  map[string]*obs.Digest
+	// ClassEnergyJ and ClassTokens accumulate per-class attributed GPU
+	// energy (tensor-parallel-group joules) and generated tokens, including
+	// the partial progress of dropped requests so energy stays conserved.
+	ClassEnergyJ map[string]float64
+	ClassTokens  map[string]int64
 	// Serve aggregates the replicas' scheduler counters.
 	Serve ServeStats
 }

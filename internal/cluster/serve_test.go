@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"polca/internal/serve"
 	"polca/internal/sim"
 	"polca/internal/stats"
+	"polca/internal/trace"
 	"polca/internal/workload"
 )
 
@@ -99,10 +101,13 @@ func TestServeRowCalibration(t *testing.T) {
 		t.Errorf("row-wide KV ledger leaked: reserved %d, freed %d",
 			srv.Serve.KVReservedTokens, srv.Serve.KVFreedTokens)
 	}
-	if len(srv.TTFTSec) == 0 || len(srv.TBTSec) == 0 {
+	if len(srv.TTFT) == 0 || len(srv.TBT) == 0 {
 		t.Error("serve mode recorded no token latencies")
 	}
-	if slot.Serve.Batches != 0 || slot.TTFTSec != nil {
+	if srv.Serve.EnergyJ <= 0 {
+		t.Error("serve mode attributed no energy to requests")
+	}
+	if slot.Serve.Batches != 0 || slot.TTFT != nil {
 		t.Error("slot mode leaked serving metrics")
 	}
 }
@@ -187,15 +192,18 @@ func TestServeDeterminism(t *testing.T) {
 				t.Fatalf("%s: power series differs at sample %d", router, i)
 			}
 		}
-		for class, xs := range a.TTFTSec {
-			ys := b.TTFTSec[class]
-			if len(xs) != len(ys) {
+		for class, xs := range a.TTFT {
+			ys := b.TTFT[class]
+			if ys == nil || xs.Count() != ys.Count() {
 				t.Fatalf("%s: TTFT sample counts differ for %s", router, class)
 			}
-			for i := range xs {
-				if xs[i] != ys[i] {
-					t.Fatalf("%s: TTFT differs for %s at sample %d", router, class, i)
+			for _, p := range []float64{50, 99} {
+				if xs.Percentile(p) != ys.Percentile(p) {
+					t.Fatalf("%s: TTFT p%.0f differs for %s", router, p, class)
 				}
+			}
+			if a.ClassEnergyJ[class] != b.ClassEnergyJ[class] {
+				t.Fatalf("%s: class energy differs for %s", router, class)
 			}
 		}
 	}
@@ -224,4 +232,116 @@ func TestServeCappingSlowsTokens(t *testing.T) {
 		t.Errorf("HP p50 latency %.2fs → %.2fs despite an LP-only cap", hpBase, hpCapped)
 	}
 	t.Logf("p50 latency: LP %.2fs → %.2fs, HP %.2fs → %.2fs", lpBase, lpCapped, hpBase, hpCapped)
+}
+
+// drainPlan is flatPlan followed by a zero-rate tail so every replica
+// drains before the horizon — the instant at which per-request energy
+// attribution must equal the integrated replica energy exactly.
+func drainPlan(cfg cluster.RowConfig, busy float64, active, tail time.Duration) trace.RatePlan {
+	p := flatPlan(cfg, busy, active+tail)
+	for i := int(active / time.Minute); i < len(p.Rates); i++ {
+		p.Rates[i] = 0
+	}
+	return p
+}
+
+// TestServeSpanConservation is the row-level acceptance test for energy
+// attribution: run the serving backend to drain with span tracing on, under
+// no-cap and under an LP clock lock, with the KV budget squeezed so
+// preemptions occur, and require (1) the root spans' energies sum to the
+// replica-integrated row energy, (2) the per-class energy accounting agrees
+// with both, and (3) the report's sketch-derived p99 TTFT is reproducible
+// from the span JSONL alone (the polca-analyze contract).
+func TestServeSpanConservation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ctrl cluster.Controller
+	}{
+		{"nocap", &recordingCtrl{}},
+		{"capped", &recordingCtrl{lockLP: 1005}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := serveConfig()
+			// Squeeze the KV budget so the scenario exercises preemption
+			// and recompute attribution, not just the happy path.
+			cfg.Serve.GPUMemUtil = 0.62
+			o := &obs.Observer{Spans: obs.NewSpanTracer(), Metrics: obs.NewRegistry()}
+			eng := sim.New(cfg.Seed)
+			eng.SetObserver(o)
+			row := cluster.MustRow(eng, cfg, tc.ctrl)
+			m := row.Run(drainPlan(cfg, 0.8, 30*time.Minute, 60*time.Minute))
+
+			for _, p := range []workload.Priority{workload.Low, workload.High} {
+				if m.Arrived[p] != m.Completed[p]+m.Dropped[p] {
+					t.Fatalf("pool %v not drained: %d arrived, %d completed, %d dropped",
+						p, m.Arrived[p], m.Completed[p], m.Dropped[p])
+				}
+			}
+			if m.Serve.Preemptions == 0 {
+				t.Error("squeezed KV budget produced no preemptions — scenario lost its stress")
+			}
+
+			spans := o.Spans.Spans()
+			var rootJ, rootCapSec float64
+			ttftByClass := map[string][]float64{}
+			roots := 0
+			for _, sp := range spans {
+				if sp.Kind != obs.SpanRequest {
+					continue
+				}
+				roots++
+				rootJ += sp.EnergyJ
+				rootCapSec += sp.CapSec
+				if sp.TTFTSec >= 0 {
+					ttftByClass[sp.Class] = append(ttftByClass[sp.Class], sp.TTFTSec)
+				}
+			}
+			if roots == 0 {
+				t.Fatal("no request spans recorded")
+			}
+			checkClose := func(what string, got, want float64) {
+				t.Helper()
+				den := want
+				if den == 0 {
+					den = 1
+				}
+				if d := (got - want) / den; d > 1e-9 || d < -1e-9 {
+					t.Errorf("%s: %.3f vs %.3f (rel %.2e)", what, got, want, d)
+				}
+			}
+			checkClose("root spans vs integrated energy", rootJ, m.Serve.EnergyJ)
+			checkClose("root spans vs cap seconds", rootCapSec, m.Serve.CapExtraSec)
+			var classJ float64
+			for _, j := range m.ClassEnergyJ {
+				classJ += j
+			}
+			checkClose("per-class energy vs integrated", classJ, m.Serve.EnergyJ)
+			if tc.name == "nocap" && m.Serve.CapExtraSec != 0 {
+				t.Errorf("uncapped row reports cap slowdown %g s", m.Serve.CapExtraSec)
+			}
+			if tc.name == "capped" && m.Serve.CapExtraSec <= 0 {
+				t.Error("LP clock lock produced no cap slowdown")
+			}
+
+			// The report's p99 TTFT must be recomputable from spans alone:
+			// the digest estimate sits within one sample rank of the exact
+			// percentile computed over the root spans' TTFTs (the sketch's
+			// guarantee — value-space error can exceed 1% in a sparse tail).
+			for class, d := range m.TTFT {
+				xs := ttftByClass[class]
+				if int64(len(xs)) != d.Count() {
+					t.Errorf("%s: %d span TTFTs vs digest count %d", class, len(xs), d.Count())
+					continue
+				}
+				sort.Float64s(xs)
+				got := d.Percentile(99)
+				wantRank := 0.99 * float64(len(xs)-1)
+				gotRank := float64(sort.SearchFloat64s(xs, got))
+				if gotRank < wantRank-1 || gotRank > wantRank+1 {
+					t.Errorf("%s: digest p99 TTFT %.4f lands at rank %.0f of %d, exact rank %.1f (> 1 rank off)",
+						class, got, gotRank, len(xs), wantRank)
+				}
+			}
+		})
+	}
 }

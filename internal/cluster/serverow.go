@@ -36,10 +36,31 @@ type ServeStats struct {
 	// are equal once every replica has drained (the no-leak invariant).
 	KVReservedTokens int64
 	KVFreedTokens    int64
+	// EnergyJ is the integrated GPU energy of every settled iteration
+	// row-wide, in tensor-parallel-group joules (replica per-GPU energy
+	// times the group size). The per-request attribution sums to exactly
+	// this at drain — the conservation invariant.
+	EnergyJ float64
+	// CapExtraSec and CapDeltaJ aggregate the iterations' extra seconds and
+	// extra (or, negative, saved) group joules versus the DVFS uncapped
+	// counterfactual; both are exactly 0 on a run that never capped.
+	CapExtraSec float64
+	CapDeltaJ   float64
 }
 
 // serveMode reports whether the row runs the request-level backend.
 func (r *Row) serveMode() bool { return r.cfg.Serve != nil }
+
+// classDigest returns the class's quantile sketch, creating it on first
+// use.
+func classDigest(m map[string]*obs.Digest, class string) *obs.Digest {
+	d := m[class]
+	if d == nil {
+		d = obs.NewDigest(obs.DefaultCompression)
+		m[class] = d
+	}
+	return d
+}
 
 // ServeConfig returns the resolved serving configuration, or nil in slot
 // mode.
@@ -71,8 +92,10 @@ func (r *Row) initServe() error {
 		}
 		r.routers[p] = rt
 	}
-	r.metrics.TTFTSec = map[string][]float64{}
-	r.metrics.TBTSec = map[string][]float64{}
+	r.metrics.TTFT = map[string]*obs.Digest{}
+	r.metrics.TBT = map[string]*obs.Digest{}
+	r.metrics.ClassEnergyJ = map[string]float64{}
+	r.metrics.ClassTokens = map[string]int64{}
 	for _, n := range r.nodes {
 		n := n
 		rep, err := serve.NewReplica(r.eng, scfg, n.dev, n.idx, int8(n.pri))
@@ -80,14 +103,16 @@ func (r *Row) initServe() error {
 			return err
 		}
 		rep.OnFirstToken = func(s *serve.Seq, now sim.Time) {
-			r.metrics.TTFTSec[s.Req.Class] = append(r.metrics.TTFTSec[s.Req.Class], s.TTFTSeconds())
+			classDigest(r.metrics.TTFT, s.Req.Class).Add(s.TTFTSeconds())
 		}
 		rep.OnComplete = func(s *serve.Seq, now sim.Time) {
 			pri := s.Req.Priority
 			r.metrics.Completed[pri]++
 			r.metrics.LatencySec[pri] = append(r.metrics.LatencySec[pri], (now - s.Req.Arrival).Seconds())
 			r.metrics.BusySec[pri] += (now - s.Enqueued).Seconds()
-			r.metrics.TBTSec[s.Req.Class] = append(r.metrics.TBTSec[s.Req.Class], s.MeanTBTSeconds())
+			classDigest(r.metrics.TBT, s.Req.Class).Add(s.MeanTBTSeconds())
+			r.metrics.ClassEnergyJ[s.Req.Class] += s.EnergyJ()
+			r.metrics.ClassTokens[s.Req.Class] += int64(s.Decoded())
 			r.completedCtr[pri].Inc()
 			if r.tracer != nil {
 				r.tracer.Emit(obs.Event{
@@ -99,6 +124,10 @@ func (r *Row) initServe() error {
 		rep.OnDrop = func(s *serve.Seq, now sim.Time, reason string) {
 			pri := s.Req.Priority
 			r.metrics.Dropped[pri]++
+			// Dropped requests keep their partial attribution so per-class
+			// energy still sums to the replica-integrated total.
+			r.metrics.ClassEnergyJ[s.Req.Class] += s.EnergyJ()
+			r.metrics.ClassTokens[s.Req.Class] += int64(s.Decoded())
 			r.droppedCtr[pri].Inc()
 			if r.tracer != nil {
 				r.tracer.Emit(obs.Event{
@@ -161,6 +190,7 @@ func (r *Row) finalizeServe() {
 		return
 	}
 	st := &r.metrics.Serve
+	group := float64(r.serveCfg.TensorParallel)
 	for _, n := range r.nodes {
 		s := n.rep.Stats()
 		st.Batches += s.Batches
@@ -170,6 +200,9 @@ func (r *Row) finalizeServe() {
 		st.KVHighWaterEvents += s.KVHighWaterEvents
 		st.KVReservedTokens += s.KVReservedTokens
 		st.KVFreedTokens += s.KVFreedTokens
+		st.EnergyJ += s.EnergyJ * group
+		st.CapExtraSec += s.CapExtraSec
+		st.CapDeltaJ += s.CapDeltaJ * group
 		if s.MaxRunning > st.MaxRunning {
 			st.MaxRunning = s.MaxRunning
 		}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"polca/internal/cluster"
+	"polca/internal/obs"
 	"polca/internal/stats"
 	"polca/internal/workload"
 )
@@ -25,14 +26,16 @@ type FigServePower struct {
 	Brakes  int
 }
 
-// FigServeClass is one Table 6 class's token latencies under the serving
-// backend.
+// FigServeClass is one Table 6 class's token latencies and energy cost
+// under the serving backend.
 type FigServeClass struct {
 	Class         string
 	TTFTp99NoCap  float64
 	TTFTp99POLCA  float64
 	TBTp99NoCapMS float64
 	TBTp99POLCAMS float64
+	JPerTokNoCap  float64
+	JPerTokPOLCA  float64
 }
 
 // FigServeSense is one POLCA threshold combination's serve-mode outcome.
@@ -99,10 +102,12 @@ func runFigServe(o Options) (Result, error) {
 	for _, name := range workload.Names(nc.Config.Classes) {
 		data.Classes = append(data.Classes, FigServeClass{
 			Class:         name,
-			TTFTp99NoCap:  stats.Percentile(nc.TTFTSec[name], 99),
-			TTFTp99POLCA:  stats.Percentile(pc.TTFTSec[name], 99),
-			TBTp99NoCapMS: stats.Percentile(nc.TBTSec[name], 99) * 1000,
-			TBTp99POLCAMS: stats.Percentile(pc.TBTSec[name], 99) * 1000,
+			TTFTp99NoCap:  nc.TTFT[name].Percentile(99),
+			TTFTp99POLCA:  pc.TTFT[name].Percentile(99),
+			TBTp99NoCapMS: nc.TBT[name].Percentile(99) * 1000,
+			TBTp99POLCAMS: pc.TBT[name].Percentile(99) * 1000,
+			JPerTokNoCap:  classJPerTok(nc, name),
+			JPerTokPOLCA:  classJPerTok(pc, name),
 		})
 	}
 	data.Preemptions = pc.Serve.Preemptions
@@ -135,16 +140,17 @@ func runFigServe(o Options) (Result, error) {
 	b.WriteString("Power utilization distribution (same arrivals, +30% servers):\n")
 	b.WriteString(table([]string{"Backend", "Policy", "mean", "p50", "p90", "p99", "peak(2s)", "Brakes"}, powerCells))
 
-	b.WriteString("\nToken latencies under the serving backend (per Table 6 class):\n")
+	b.WriteString("\nToken latencies and energy under the serving backend (per Table 6 class):\n")
 	var classCells [][]string
 	for _, c := range data.Classes {
 		classCells = append(classCells, []string{
 			c.Class,
 			fmt.Sprintf("%.2f", c.TTFTp99NoCap), fmt.Sprintf("%.2f", c.TTFTp99POLCA),
 			fmt.Sprintf("%.1f", c.TBTp99NoCapMS), fmt.Sprintf("%.1f", c.TBTp99POLCAMS),
+			fmt.Sprintf("%.1f", c.JPerTokNoCap), fmt.Sprintf("%.1f", c.JPerTokPOLCA),
 		})
 	}
-	b.WriteString(table([]string{"Class", "TTFT p99 nocap (s)", "TTFT p99 polca (s)", "TBT p99 nocap (ms)", "TBT p99 polca (ms)"}, classCells))
+	b.WriteString(table([]string{"Class", "TTFT p99 nocap (s)", "TTFT p99 polca (s)", "TBT p99 nocap (ms)", "TBT p99 polca (ms)", "J/tok nocap", "J/tok polca"}, classCells))
 	fmt.Fprintf(&b, "\nServe/POLCA scheduler: %d batches, %d preemptions, KV high water %s\n",
 		data.Batches, data.Preemptions, pct(data.KVHighWater))
 
@@ -162,12 +168,20 @@ func runFigServe(o Options) (Result, error) {
 	return Result{Text: b.String(), Data: data}, nil
 }
 
-// aggTTFTp99 returns the p99 TTFT across every class, concatenated in
-// stable class order.
+// aggTTFTp99 returns the p99 TTFT across every class, merging the
+// per-class sketches in stable class order.
 func aggTTFTp99(m *cluster.Metrics) float64 {
-	var all []float64
+	agg := obs.NewDigest(obs.DefaultCompression)
 	for _, name := range workload.Names(m.Config.Classes) {
-		all = append(all, m.TTFTSec[name]...)
+		agg.Merge(m.TTFT[name])
 	}
-	return stats.Percentile(all, 99)
+	return agg.Percentile(99)
+}
+
+// classJPerTok returns the class's attributed joules per generated token.
+func classJPerTok(m *cluster.Metrics, class string) float64 {
+	if t := m.ClassTokens[class]; t > 0 {
+		return m.ClassEnergyJ[class] / float64(t)
+	}
+	return 0
 }

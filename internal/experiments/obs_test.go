@@ -7,7 +7,7 @@ import (
 )
 
 // TestObsDoesNotPerturbResults locks the tentpole contract at the
-// experiment level: attaching a full observer (tracer + metrics +
+// experiment level: attaching a full observer (tracer + metrics + spans +
 // progress) to a sweep must leave the rendered output byte-identical to an
 // uninstrumented cold-cache run.
 func TestObsDoesNotPerturbResults(t *testing.T) {
@@ -20,7 +20,7 @@ func TestObsDoesNotPerturbResults(t *testing.T) {
 
 		resetEvalCache()
 		oo := QuickOptions()
-		oo.Obs = &obs.Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+		oo.Obs = &obs.Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry(), Spans: obs.NewSpanTracer()}
 		oo.Progress = obs.NewProgress(0)
 		observed, err := Run(id, oo)
 		if err != nil {

@@ -538,3 +538,27 @@ func (e Exec) Energy() float64 {
 	}
 	return j
 }
+
+// EnergyUpTo returns the energy of the execution's first offset of runtime
+// in joules (the whole-exec energy at or past the end). The serving
+// backend uses it to settle the consumed share of an iteration that is
+// re-planned mid-flight or cancelled by a node death.
+func (e Exec) EnergyUpTo(offset time.Duration) float64 {
+	if offset >= e.Duration {
+		return e.Energy()
+	}
+	var j float64
+	var at time.Duration
+	for _, s := range e.Segments {
+		if offset <= at {
+			break
+		}
+		d := s.Duration
+		if at+d > offset {
+			d = offset - at
+		}
+		j += s.Counters.PowerWatts * d.Seconds()
+		at += s.Duration
+	}
+	return j
+}

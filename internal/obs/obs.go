@@ -272,10 +272,10 @@ func (t *Tracer) Reset() {
 	t.mu.Unlock()
 }
 
-// Observer bundles the two observability handles a simulation layer needs:
-// the event tracer and the metrics registry. A nil *Observer (or nil
-// fields) disables the corresponding instrument; every accessor is
-// nil-safe so holders never check.
+// Observer bundles the observability handles a simulation layer needs:
+// the event tracer, the metrics registry, and the request span tracer. A
+// nil *Observer (or nil fields) disables the corresponding instrument;
+// every accessor is nil-safe so holders never check.
 //
 // Labels, when non-empty, is a Prometheus label list (`k="v",k2="v2"`)
 // injected into every metric name created through this observer — the CLIs
@@ -283,6 +283,7 @@ func (t *Tracer) Reset() {
 type Observer struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	Spans   *SpanTracer
 	Labels  string
 }
 
@@ -292,6 +293,14 @@ func (o *Observer) Trace() *Tracer {
 		return nil
 	}
 	return o.Tracer
+}
+
+// SpanSink returns the request span tracer (nil when disabled).
+func (o *Observer) SpanSink() *SpanTracer {
+	if o == nil {
+		return nil
+	}
+	return o.Spans
 }
 
 // Emit forwards to the tracer, if any.
@@ -344,12 +353,13 @@ func (o *Observer) WithLabels(kv ...string) *Observer {
 			labels += "," + l
 		}
 	}
-	return &Observer{Tracer: o.Tracer, Metrics: o.Metrics, Labels: labels}
+	return &Observer{Tracer: o.Tracer, Metrics: o.Metrics, Spans: o.Spans, Labels: labels}
 }
 
-// MetricsOnly returns a derived observer with the tracer dropped — the
-// sweep executor attaches it to row engines so grid points contribute
-// metrics without flooding the sweep-level trace with per-request events.
+// MetricsOnly returns a derived observer with the event and span tracers
+// dropped — the sweep executor attaches it to row engines so grid points
+// contribute metrics without flooding the sweep-level trace with
+// per-request events or accumulating span trees for every grid point.
 func (o *Observer) MetricsOnly() *Observer {
 	if o == nil || o.Metrics == nil {
 		return nil

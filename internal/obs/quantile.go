@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultCompression is the Digest compression used across the repo. At
+// δ=200 a digest holds at most ~2δ centroids (~6 KB), and p99/p99.9
+// estimates on the serve workload land within a fraction of a percent of
+// the exact sorted values (see TestDigestAccuracyServeShapes).
+const DefaultCompression = 200
+
+// Digest is a fixed-compression merging t-digest: a streaming quantile
+// sketch whose memory is bounded by the compression parameter instead of
+// the sample count, so per-class TTFT/TBT/energy percentiles no longer
+// require retaining full slices over multi-day runs.
+//
+// Determinism contract: the centroid set after any sequence of Add/Merge
+// calls is a pure function of the inserted values and their order. The
+// implementation is single-threaded by design (like the rest of the row's
+// metrics, it is only touched from the owning engine's goroutine); the
+// buffered inserts are flushed by sorting with sort.Float64s, which is
+// deterministic for equal inputs. A nil *Digest is a valid disabled sketch:
+// Add is a no-op, Count reports 0 and Percentile reports 0 (matching
+// stats.Percentile on an empty slice).
+type Digest struct {
+	compression float64
+	means       []float64 // centroid means, sorted ascending
+	weights     []float64 // centroid weights, parallel to means
+	buf         []float64 // unmerged singleton inserts
+	count       int64
+	min, max    float64
+}
+
+// NewDigest returns an empty digest. Compressions below 20 are raised to
+// 20; use DefaultCompression unless there is a measured reason not to.
+func NewDigest(compression float64) *Digest {
+	if compression < 20 {
+		compression = 20
+	}
+	return &Digest{
+		compression: compression,
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// Add inserts one observation. Inserts are buffered and merged in batches,
+// so the amortized cost is O(log buffer) for the sort share.
+func (d *Digest) Add(x float64) {
+	if d == nil {
+		return
+	}
+	if x < d.min {
+		d.min = x
+	}
+	if x > d.max {
+		d.max = x
+	}
+	d.count++
+	d.buf = append(d.buf, x)
+	if len(d.buf) >= d.bufCap() {
+		d.flush()
+	}
+}
+
+func (d *Digest) bufCap() int { return 4 * int(d.compression) }
+
+// Count returns the number of observations inserted (directly or via
+// Merge).
+func (d *Digest) Count() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.count
+}
+
+// Merge folds another digest's centroids into this one. The other digest
+// is flushed (an observably-neutral normalization) but its samples are not
+// consumed; merging the same digest twice double-counts, as with any
+// sketch.
+func (d *Digest) Merge(o *Digest) {
+	if d == nil || o == nil || o.Count() == 0 {
+		return
+	}
+	o.flush()
+	if o.min < d.min {
+		d.min = o.min
+	}
+	if o.max > d.max {
+		d.max = o.max
+	}
+	d.count += o.count
+	d.flush() // normalize our own buffer before a weighted merge
+	n := len(d.means) + len(o.means)
+	ms := make([]float64, 0, n)
+	ws := make([]float64, 0, n)
+	i, j := 0, 0
+	for i < len(d.means) || j < len(o.means) {
+		if j >= len(o.means) || (i < len(d.means) && d.means[i] <= o.means[j]) {
+			ms = append(ms, d.means[i])
+			ws = append(ws, d.weights[i])
+			i++
+		} else {
+			ms = append(ms, o.means[j])
+			ws = append(ws, o.weights[j])
+			j++
+		}
+	}
+	d.means, d.weights = d.compress(ms, ws)
+}
+
+// flush merges the buffered singletons into the centroid set.
+func (d *Digest) flush() {
+	if len(d.buf) == 0 {
+		return
+	}
+	sort.Float64s(d.buf)
+	n := len(d.means) + len(d.buf)
+	ms := make([]float64, 0, n)
+	ws := make([]float64, 0, n)
+	i, j := 0, 0
+	for i < len(d.means) || j < len(d.buf) {
+		if j >= len(d.buf) || (i < len(d.means) && d.means[i] <= d.buf[j]) {
+			ms = append(ms, d.means[i])
+			ws = append(ws, d.weights[i])
+			i++
+		} else {
+			ms = append(ms, d.buf[j])
+			ws = append(ws, 1)
+			j++
+		}
+	}
+	d.buf = d.buf[:0]
+	d.means, d.weights = d.compress(ms, ws)
+}
+
+// compress runs one merge pass over sorted (mean, weight) pairs, greedily
+// fusing neighbours while the fused centroid stays within one unit of the
+// k1 scale function k(q) = (δ/2π)·asin(2q−1), which keeps centroids small
+// near both tails and large in the middle.
+func (d *Digest) compress(ms, ws []float64) ([]float64, []float64) {
+	if len(ms) == 0 {
+		return ms[:0], ws[:0]
+	}
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	outM := ms[:0]
+	outW := ws[:0]
+	curM, curW := ms[0], ws[0]
+	var soFar float64 // weight fully emitted so far
+	qLimit := d.qLimit(0)
+	for i := 1; i < len(ms); i++ {
+		m, w := ms[i], ws[i]
+		if (soFar+curW+w)/total <= qLimit {
+			// Fuse into the current centroid (weighted mean update).
+			curM += (m - curM) * w / (curW + w)
+			curW += w
+			continue
+		}
+		outM = append(outM, curM)
+		outW = append(outW, curW)
+		soFar += curW
+		qLimit = d.qLimit(soFar / total)
+		curM, curW = m, w
+	}
+	outM = append(outM, curM)
+	outW = append(outW, curW)
+	return outM, outW
+}
+
+// qLimit returns the quantile at which a centroid starting at q0 must end:
+// the q whose k1-scale value is one unit past k(q0).
+func (d *Digest) qLimit(q0 float64) float64 {
+	if q0 < 0 {
+		q0 = 0
+	} else if q0 > 1 {
+		q0 = 1
+	}
+	k := d.compression/(2*math.Pi)*math.Asin(2*q0-1) + 1
+	if k >= d.compression/4 {
+		return 1
+	}
+	return (math.Sin(2*math.Pi*k/d.compression) + 1) / 2
+}
+
+// Percentile estimates the p-th percentile (p in [0, 100], matching
+// stats.Percentile's convention). It returns 0 for an empty digest, the
+// exact min/max at the extremes, and interpolates between adjacent
+// centroid means elsewhere.
+func (d *Digest) Percentile(p float64) float64 {
+	if d == nil || d.count == 0 {
+		return 0
+	}
+	d.flush()
+	if p <= 0 {
+		return d.min
+	}
+	if p >= 100 {
+		return d.max
+	}
+	n := len(d.means)
+	if n == 1 {
+		return d.means[0]
+	}
+	// While every point is still its own centroid the sample is fully
+	// known, so return the exact percentile under stats.Percentile's
+	// convention (linear interpolation at rank p/100*(n-1)). Small-sample
+	// report tables therefore match the old retained-slice numbers.
+	if d.count == int64(n) {
+		rank := p / 100 * float64(n-1)
+		lo := int(rank)
+		if lo >= n-1 {
+			return d.means[n-1]
+		}
+		return d.means[lo] + (rank-float64(lo))*(d.means[lo+1]-d.means[lo])
+	}
+	target := p / 100 * float64(d.count)
+
+	// Below the first centroid's midpoint: interpolate from the minimum.
+	firstMid := d.weights[0] / 2
+	if target <= firstMid {
+		if firstMid == 0 {
+			return d.means[0]
+		}
+		return d.min + (d.means[0]-d.min)*(target/firstMid)
+	}
+	// Above the last centroid's midpoint: interpolate toward the maximum.
+	lastMid := float64(d.count) - d.weights[n-1]/2
+	if target >= lastMid {
+		span := float64(d.count) - lastMid
+		if span == 0 {
+			return d.max
+		}
+		return d.means[n-1] + (d.max-d.means[n-1])*((target-lastMid)/span)
+	}
+	// Between two centroid midpoints.
+	var cum float64
+	for i := 0; i < n-1; i++ {
+		mid := cum + d.weights[i]/2
+		nextMid := cum + d.weights[i] + d.weights[i+1]/2
+		if target < nextMid {
+			if nextMid == mid {
+				return d.means[i]
+			}
+			return d.means[i] + (d.means[i+1]-d.means[i])*((target-mid)/(nextMid-mid))
+		}
+		cum += d.weights[i]
+	}
+	return d.max
+}
+
+// Centroids returns the digest's current (mean, weight) pairs — exposed
+// for tests that assert the memory bound.
+func (d *Digest) Centroids() (means, weights []float64) {
+	if d == nil {
+		return nil, nil
+	}
+	d.flush()
+	means = append([]float64(nil), d.means...)
+	weights = append([]float64(nil), d.weights...)
+	return means, weights
+}

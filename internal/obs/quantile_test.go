@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactPercentile mirrors stats.Percentile (linear interpolation on the
+// sorted sample at rank p/100*(n-1)) without importing the package, so obs
+// stays dependency-free.
+func exactPercentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+// rankError returns how many sorted-sample ranks the estimate is away from
+// the exact percentile's rank.
+func rankError(sorted []float64, p, est float64) float64 {
+	wantRank := p / 100 * float64(len(sorted)-1)
+	gotRank := float64(sort.SearchFloat64s(sorted, est))
+	return math.Abs(gotRank - wantRank)
+}
+
+// checkAccuracy asserts the digest's p50/p90/p99 are within 1% relative
+// error or one rank of the exact percentiles, and the deep tail (p99.9) is
+// within 5%.
+func checkAccuracy(t *testing.T, name string, d *Digest, sorted []float64) {
+	t.Helper()
+	check := func(p, relTol, rankTol float64) {
+		want := exactPercentile(sorted, p)
+		got := d.Percentile(p)
+		relOK := false
+		if want != 0 {
+			relOK = math.Abs(got-want)/math.Abs(want) <= relTol
+		} else {
+			relOK = math.Abs(got) <= 1e-12
+		}
+		if !relOK && rankError(sorted, p, got) > rankTol {
+			t.Errorf("%s: p%g = %g, exact %g (rel err %.3f%%, rank err %.1f)",
+				name, p, got, want, 100*math.Abs(got-want)/math.Max(math.Abs(want), 1e-300),
+				rankError(sorted, p, got))
+		}
+	}
+	for _, p := range []float64{50, 90, 99} {
+		check(p, 0.01, 1)
+	}
+	check(99.9, 0.05, 1)
+}
+
+func TestDigestAccuracy(t *testing.T) {
+	dists := map[string]func(r *rand.Rand) float64{
+		"uniform":     func(r *rand.Rand) float64 { return r.Float64() },
+		"exponential": func(r *rand.Rand) float64 { return r.ExpFloat64() },
+		"lognormal":   func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()) },
+	}
+	for name, gen := range dists {
+		r := rand.New(rand.NewSource(7))
+		d := NewDigest(DefaultCompression)
+		xs := make([]float64, 50_000)
+		for i := range xs {
+			xs[i] = gen(r)
+			d.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		checkAccuracy(t, name, d, xs)
+		if d.Count() != int64(len(xs)) {
+			t.Errorf("%s: Count = %d, want %d", name, d.Count(), len(xs))
+		}
+		if got := d.Percentile(0); got != xs[0] {
+			t.Errorf("%s: p0 = %g, want min %g", name, got, xs[0])
+		}
+		if got := d.Percentile(100); got != xs[len(xs)-1] {
+			t.Errorf("%s: p100 = %g, want max %g", name, got, xs[len(xs)-1])
+		}
+	}
+}
+
+// TestDigestSmallExact requires exact percentiles while every point is still
+// its own centroid — the serve report's per-class tables often hold only a
+// handful of samples.
+func TestDigestSmallExact(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10} {
+		d := NewDigest(DefaultCompression)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64((i*7)%n) + 1
+			d.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		for _, p := range []float64{0, 25, 50, 75, 99, 100} {
+			want := exactPercentile(xs, p)
+			if got := d.Percentile(p); math.Abs(got-want) > 1e-9 {
+				t.Errorf("n=%d p%g = %g, want %g", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestDigestMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var xs []float64
+	parts := make([]*Digest, 4)
+	for i := range parts {
+		parts[i] = NewDigest(DefaultCompression)
+		for j := 0; j < 10_000; j++ {
+			x := r.NormFloat64()*3 + float64(i)
+			parts[i].Add(x)
+			xs = append(xs, x)
+		}
+	}
+	merged := NewDigest(DefaultCompression)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	sort.Float64s(xs)
+	if merged.Count() != int64(len(xs)) {
+		t.Fatalf("merged Count = %d, want %d", merged.Count(), len(xs))
+	}
+	checkAccuracy(t, "merged", merged, xs)
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	build := func() *Digest {
+		r := rand.New(rand.NewSource(3))
+		d := NewDigest(DefaultCompression)
+		for i := 0; i < 20_000; i++ {
+			d.Add(r.ExpFloat64())
+		}
+		return d
+	}
+	a, b := build(), build()
+	for p := 0.0; p <= 100; p += 0.5 {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("p%g differs across identical builds", p)
+		}
+	}
+}
+
+// TestDigestBounded checks memory stays O(compression) no matter how many
+// points stream in — the reason the serve path can drop slice retention.
+func TestDigestBounded(t *testing.T) {
+	d := NewDigest(DefaultCompression)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500_000; i++ {
+		d.Add(r.Float64())
+	}
+	means, _ := d.Centroids()
+	if n := len(means); n > 2*DefaultCompression {
+		t.Errorf("digest holds %d centroids after 500k points (compression %d)", n, DefaultCompression)
+	}
+}
+
+func TestDigestNilAndEmpty(t *testing.T) {
+	var nilD *Digest
+	nilD.Add(1)              // must not panic
+	nilD.Merge(NewDigest(0)) // must not panic
+	if nilD.Count() != 0 || nilD.Percentile(50) != 0 {
+		t.Error("nil digest should report zero count and percentile")
+	}
+	d := NewDigest(DefaultCompression)
+	if d.Count() != 0 || d.Percentile(99) != 0 {
+		t.Error("empty digest should report zero count and percentile")
+	}
+	d.Merge(nil) // must not panic
+}
+
+func BenchmarkQuantileSketch(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1<<16)
+	for i := range xs {
+		xs[i] = r.ExpFloat64()
+	}
+	d := NewDigest(DefaultCompression)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Add(xs[i&(1<<16-1)])
+	}
+	sinkF = d.Percentile(99)
+}
+
+var sinkF float64

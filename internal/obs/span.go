@@ -1,0 +1,428 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanKind enumerates the node types of a request span tree. The serve
+// path emits a depth-two tree per request:
+//
+//	request (root)
+//	├── queue            waiting for admission (re-opened after preemption)
+//	├── prefill[i]       one prompt-chunk iteration (Recompute after preempt)
+//	├── decode[j]        a coalesced run of back-to-back decode iterations
+//	└── preempt          instant: evicted from the batch under KV pressure
+type SpanKind uint8
+
+const (
+	SpanNone SpanKind = iota
+	// SpanRequest is the root span covering a request end to end, from
+	// arrival to completion (or drop — Reason is set on drops). It carries
+	// the request-level attributions: TTFTSec, Tokens (decoded), EnergyJ,
+	// CapSec/CapJ, Preempts.
+	SpanRequest
+	// SpanQueue covers time spent waiting for batch admission, including
+	// the requeue wait after a preemption.
+	SpanQueue
+	// SpanPrefill covers one prompt-chunk prefill iteration; Tokens is the
+	// chunk size and Recompute marks chunks that re-run work lost to a
+	// preemption.
+	SpanPrefill
+	// SpanDecode covers a run of consecutive decode iterations, coalesced
+	// while they chain back-to-back so a 500-token generation yields one
+	// span, not 500; Tokens is the number of tokens generated in the run.
+	SpanDecode
+	// SpanPreempt is a zero-duration marker at the instant a sequence was
+	// evicted for recompute; Tokens is the KV tokens released.
+	SpanPreempt
+)
+
+var spanKindNames = [...]string{
+	SpanNone:    "none",
+	SpanRequest: "request",
+	SpanQueue:   "queue",
+	SpanPrefill: "prefill",
+	SpanDecode:  "decode",
+	SpanPreempt: "preempt",
+}
+
+// String returns the span kind's wire name ("prefill").
+func (k SpanKind) String() string {
+	if int(k) < len(spanKindNames) {
+		return spanKindNames[k]
+	}
+	return "unknown"
+}
+
+// ParseSpanKind maps a wire name back to its SpanKind.
+func ParseSpanKind(s string) (SpanKind, bool) {
+	for k, name := range spanKindNames {
+		if name == s && k != int(SpanNone) {
+			return SpanKind(k), true
+		}
+	}
+	return SpanNone, false
+}
+
+// Span is one node of a request span tree: a flat value type like Event,
+// so emitting costs only the tracer's amortized buffer growth. Spans are
+// keyed by (Req, ID): Req is the workload request ID, ID numbers the spans
+// within one request's tree (the root is always 1), Parent is the ID of
+// the enclosing span (0 on the root).
+//
+// Attribute use by kind: Server/Pool/Class locate the request; Tokens is
+// kind-specific (see SpanKind docs); EnergyJ is the GPU energy attributed
+// to the span across the replica's tensor-parallel group; CapSec and CapJ
+// are the extra seconds and extra (or, negative, saved) joules versus the
+// DVFS-uncapped counterfactual of the same iterations; TTFTSec (root only)
+// is the time to first token, or -1 when the request never produced one;
+// Reason (root only) records why a request ended without completing.
+type Span struct {
+	Req       int64
+	ID        int32
+	Parent    int32
+	Kind      SpanKind
+	Start     time.Duration // simulated time
+	End       time.Duration // simulated time
+	Server    int32
+	Pool      int8
+	Class     string
+	Tokens    int32
+	Recompute bool
+	Preempts  int32
+	EnergyJ   float64
+	CapSec    float64
+	CapJ      float64
+	TTFTSec   float64
+	Reason    string
+}
+
+// SpanTracer records request spans. Like Tracer, it is safe for concurrent
+// use and a nil *SpanTracer is a valid disabled sink — Emit on nil is a
+// single branch (see BenchmarkSpanTracerDisabled).
+type SpanTracer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewSpanTracer returns an enabled span tracer.
+func NewSpanTracer() *SpanTracer {
+	return &SpanTracer{}
+}
+
+// Emit records a span. On a nil tracer it returns immediately; emitters
+// that need per-sequence bookkeeping should additionally gate that work on
+// Enabled so the disabled path allocates nothing.
+func (t *SpanTracer) Emit(sp Span) {
+	if t == nil {
+		return
+	}
+	t.append(sp)
+}
+
+func (t *SpanTracer) append(sp Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *SpanTracer) Enabled() bool { return t != nil }
+
+// Len returns the number of recorded spans.
+func (t *SpanTracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in emission order.
+func (t *SpanTracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Reset discards recorded spans but keeps the buffer capacity.
+func (t *SpanTracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.mu.Unlock()
+}
+
+// appendSpanJSON renders one span as a single JSON object with fixed field
+// order and omitted zero fields, mirroring appendEventJSON.
+func appendSpanJSON(b []byte, sp Span) []byte {
+	b = append(b, `{"req":`...)
+	b = strconv.AppendInt(b, sp.Req, 10)
+	b = append(b, `,"id":`...)
+	b = strconv.AppendInt(b, int64(sp.ID), 10)
+	if sp.Parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendInt(b, int64(sp.Parent), 10)
+	}
+	b = append(b, `,"kind":`...)
+	b = appendJSONString(b, sp.Kind.String())
+	b = append(b, `,"start_us":`...)
+	b = strconv.AppendInt(b, int64(sp.Start/time.Microsecond), 10)
+	b = append(b, `,"end_us":`...)
+	b = strconv.AppendInt(b, int64(sp.End/time.Microsecond), 10)
+	if sp.Server >= 0 {
+		b = append(b, `,"server":`...)
+		b = strconv.AppendInt(b, int64(sp.Server), 10)
+	}
+	if name := PoolName(sp.Pool); name != "" {
+		b = append(b, `,"pool":`...)
+		b = appendJSONString(b, name)
+	}
+	if sp.Class != "" {
+		b = append(b, `,"class":`...)
+		b = appendJSONString(b, sp.Class)
+	}
+	if sp.Tokens != 0 {
+		b = append(b, `,"tokens":`...)
+		b = strconv.AppendInt(b, int64(sp.Tokens), 10)
+	}
+	if sp.Recompute {
+		b = append(b, `,"recompute":true`...)
+	}
+	if sp.Preempts != 0 {
+		b = append(b, `,"preempts":`...)
+		b = strconv.AppendInt(b, int64(sp.Preempts), 10)
+	}
+	if sp.EnergyJ != 0 {
+		b = append(b, `,"energy_j":`...)
+		b = strconv.AppendFloat(b, sp.EnergyJ, 'g', -1, 64)
+	}
+	if sp.CapSec != 0 {
+		b = append(b, `,"cap_s":`...)
+		b = strconv.AppendFloat(b, sp.CapSec, 'g', -1, 64)
+	}
+	if sp.CapJ != 0 {
+		b = append(b, `,"cap_j":`...)
+		b = strconv.AppendFloat(b, sp.CapJ, 'g', -1, 64)
+	}
+	if sp.Kind == SpanRequest {
+		b = append(b, `,"ttft_s":`...)
+		b = strconv.AppendFloat(b, sp.TTFTSec, 'g', -1, 64)
+	}
+	if sp.Reason != "" {
+		b = append(b, `,"reason":`...)
+		b = appendJSONString(b, sp.Reason)
+	}
+	return append(b, '}')
+}
+
+// sortedSpans returns the tracer's spans ordered by (Req, ID), so one
+// request's tree is a contiguous block led by its root regardless of how
+// emission interleaved across requests.
+func (t *SpanTracer) sortedSpans() []Span {
+	spans := t.Spans()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Req != spans[j].Req {
+			return spans[i].Req < spans[j].Req
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return spans
+}
+
+// WriteJSONL writes the spans, one JSON object per line, sorted by
+// (request, span ID). The encoding is hand-rolled like the event export,
+// so identical runs produce identical bytes.
+func (t *SpanTracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 256)
+	for _, sp := range t.sortedSpans() {
+		buf = appendSpanJSON(buf[:0], sp)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace renders the spans in the Chrome trace-event JSON format
+// with one track per request, so a single request's queue → prefill →
+// decode lifecycle reads left to right in ui.perfetto.dev. Tracks are
+// ordered by request ID; preemptions render as instants.
+func (t *SpanTracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans := t.sortedSpans()
+	tids := map[int64]int32{}
+	var meta []chromeTraceRow
+	var rows []chromeTraceRow
+	for _, sp := range spans {
+		tid, ok := tids[sp.Req]
+		if !ok {
+			tid = int32(len(tids))
+			tids[sp.Req] = tid
+			label := fmt.Sprintf("req %d", sp.Req)
+			if sp.Class != "" {
+				label += " (" + sp.Class + ")"
+			}
+			meta = append(meta, chromeTraceRow{
+				name: "thread_name", ph: "M", tid: tid,
+				args: `"name":` + string(appendJSONString(nil, label)),
+			})
+		}
+		name := sp.Kind.String()
+		if sp.Kind == SpanPrefill && sp.Recompute {
+			name = "prefill (recompute)"
+		}
+		args := `"tokens":` + strconv.FormatInt(int64(sp.Tokens), 10)
+		if sp.EnergyJ != 0 {
+			args += `,"energy_j":` + strconv.FormatFloat(sp.EnergyJ, 'g', -1, 64)
+		}
+		if sp.CapSec != 0 {
+			args += `,"cap_s":` + strconv.FormatFloat(sp.CapSec, 'g', -1, 64)
+		}
+		if sp.Kind == SpanRequest {
+			args += `,"ttft_s":` + strconv.FormatFloat(sp.TTFTSec, 'g', -1, 64)
+			if sp.Reason != "" {
+				args += `,"reason":` + string(appendJSONString(nil, sp.Reason))
+			}
+		}
+		ts := int64(sp.Start / time.Microsecond)
+		if sp.Kind == SpanPreempt {
+			rows = append(rows, chromeTraceRow{name: name, ph: "i", ts: ts, tid: tid, args: args})
+			continue
+		}
+		rows = append(rows, chromeTraceRow{
+			name: name, ph: "X", ts: ts,
+			dur: int64((sp.End - sp.Start) / time.Microsecond),
+			tid: tid, args: args,
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 256)
+	first := true
+	writeRow := func(r chromeTraceRow) error {
+		buf = buf[:0]
+		if !first {
+			buf = append(buf, ',', '\n')
+		}
+		first = false
+		buf = r.append(buf)
+		_, err := bw.Write(buf)
+		return err
+	}
+	for _, r := range meta {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// spanJSON is the decode-side shadow of appendSpanJSON's wire format.
+type spanJSON struct {
+	Req       int64   `json:"req"`
+	ID        int32   `json:"id"`
+	Parent    int32   `json:"parent"`
+	Kind      string  `json:"kind"`
+	StartUS   int64   `json:"start_us"`
+	EndUS     int64   `json:"end_us"`
+	Server    int32   `json:"server"`
+	Pool      string  `json:"pool"`
+	Class     string  `json:"class"`
+	Tokens    int32   `json:"tokens"`
+	Recompute bool    `json:"recompute"`
+	Preempts  int32   `json:"preempts"`
+	EnergyJ   float64 `json:"energy_j"`
+	CapSec    float64 `json:"cap_s"`
+	CapJ      float64 `json:"cap_j"`
+	TTFTSec   float64 `json:"ttft_s"`
+	Reason    string  `json:"reason"`
+}
+
+// ReadSpans parses span JSONL produced by WriteJSONL, skipping blank lines
+// and `#` provenance headers. It is the input side of cmd/polca-analyze.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 || raw[0] == '#' {
+			continue
+		}
+		sj := spanJSON{Server: -1, Pool: "", TTFTSec: -1}
+		if err := json.Unmarshal(raw, &sj); err != nil {
+			return nil, fmt.Errorf("spans line %d: %w", line, err)
+		}
+		kind, ok := ParseSpanKind(sj.Kind)
+		if !ok {
+			return nil, fmt.Errorf("spans line %d: unknown kind %q", line, sj.Kind)
+		}
+		pool := PoolNone
+		switch sj.Pool {
+		case "low":
+			pool = PoolLow
+		case "high":
+			pool = PoolHigh
+		}
+		out = append(out, Span{
+			Req:       sj.Req,
+			ID:        sj.ID,
+			Parent:    sj.Parent,
+			Kind:      kind,
+			Start:     time.Duration(sj.StartUS) * time.Microsecond,
+			End:       time.Duration(sj.EndUS) * time.Microsecond,
+			Server:    sj.Server,
+			Pool:      pool,
+			Class:     sj.Class,
+			Tokens:    sj.Tokens,
+			Recompute: sj.Recompute,
+			Preempts:  sj.Preempts,
+			EnergyJ:   sj.EnergyJ,
+			CapSec:    sj.CapSec,
+			CapJ:      sj.CapJ,
+			TTFTSec:   sj.TTFTSec,
+			Reason:    sj.Reason,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

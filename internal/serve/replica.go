@@ -39,6 +39,33 @@ type Seq struct {
 	// Plan for the in-flight iteration, applied when it finishes.
 	chunk int // prompt tokens to prefill
 	steps int // decode steps to take
+
+	// Per-request energy attribution, accumulated as each iteration the
+	// sequence participated in settles: energyJ is the tensor-parallel
+	// group's integrated GPU energy apportioned by token-weighted share;
+	// capSec and capJ are this sequence's share of the iteration's extra
+	// seconds and extra (or, negative, saved) joules versus the DVFS
+	// uncapped counterfactual.
+	energyJ float64
+	capSec  float64
+	capJ    float64
+
+	tr *seqTrace // span bookkeeping; nil when span tracing is off
+}
+
+// seqTrace is the per-sequence span bookkeeping, allocated only when a
+// span tracer is attached so the disabled path stays allocation-free.
+type seqTrace struct {
+	next       int32 // next child span ID (the root is always 1)
+	queueStart sim.Time
+	queueOpen  bool
+	pending    obs.Span // open coalesced decode span
+	hasPending bool
+}
+
+func (t *seqTrace) childID() int32 {
+	t.next++
+	return t.next - 1
 }
 
 // outputTarget is the generation length that completes the sequence; even
@@ -61,6 +88,18 @@ func (s *Seq) KVReserved() int { return s.kvRes }
 
 // Preempts returns how many times the sequence was preempted.
 func (s *Seq) Preempts() int { return s.preempts }
+
+// EnergyJ returns the GPU energy attributed to the sequence so far, in
+// joules across the replica's tensor-parallel group.
+func (s *Seq) EnergyJ() float64 { return s.energyJ }
+
+// CapSlowdownSec returns the extra seconds the sequence's iterations took
+// versus the DVFS uncapped counterfactual (0 on an uncapped replica).
+func (s *Seq) CapSlowdownSec() float64 { return s.capSec }
+
+// CapDeltaJ returns the extra (positive) or saved (negative) joules of the
+// sequence's iterations versus the DVFS uncapped counterfactual.
+func (s *Seq) CapDeltaJ() float64 { return s.capJ }
 
 // TTFTSeconds returns the time-to-first-token (arrival to first output
 // token), or -1 if no token was produced yet.
@@ -95,10 +134,23 @@ type Stats struct {
 	KVReservedTokens  int64 // cumulative reservation, in tokens
 	KVFreedTokens     int64 // cumulative release; equals reserved at drain
 
-	// EnergyJ is the per-GPU energy of every iteration as planned at
-	// launch, in joules. Exact on runs without mid-iteration replans (no
-	// caps landing mid-flight); the calibration tests rely on that case.
+	// EnergyJ is the per-GPU energy actually integrated over every settled
+	// iteration, in joules: replanned iterations bank the consumed share of
+	// the old execution before switching, and a node death settles the
+	// partial energy of the cancelled iteration. On runs without
+	// mid-iteration replans it equals the planned-at-launch energy the
+	// calibration tests rely on. The per-request attribution (Seq.EnergyJ)
+	// sums to exactly TensorParallel times this once every iteration has
+	// settled — see TestEnergyConservation.
 	EnergyJ float64
+
+	// CapExtraSec and CapDeltaJ are the summed per-iteration differences
+	// between actual duration/energy and the DVFS uncapped counterfactual
+	// (clock lock, brake, and power cap released). Seconds are wall
+	// iteration time; joules are per GPU like EnergyJ. Both are exactly 0
+	// on a replica that never saw a cap or a mid-flight replan.
+	CapExtraSec float64
+	CapDeltaJ   float64
 }
 
 // Replica is one continuous-batching serving instance: a tensor-parallel
@@ -111,9 +163,10 @@ type Replica struct {
 	idx  int
 	pool int8
 
-	kvPerTok      int // per-GPU KV bytes per token
-	kvCapToks     int // per-GPU KV capacity in tokens
+	kvPerTok      int     // per-GPU KV bytes per token
+	kvCapToks     int     // per-GPU KV capacity in tokens
 	weightsPerGPU float64
+	scale         float64 // tensor-parallel degree: per-GPU → group energy
 
 	waiting []*Seq
 	running []*Seq
@@ -125,10 +178,22 @@ type Replica struct {
 	iterStart  sim.Time
 	iterTimer  sim.Timer
 
+	// Energy settlement state for the in-flight iteration. iterFormedAt is
+	// the formation instant (iterStart moves on replans, this does not);
+	// iterBankedJ accumulates the consumed share of executions replaced by
+	// replans; iterBaseSec/iterBaseJ are the iteration's DVFS uncapped
+	// counterfactual (equal to the planned execution when the device was
+	// uncapped at formation).
+	iterFormedAt sim.Time
+	iterBankedJ  float64
+	iterBaseSec  float64
+	iterBaseJ    float64
+
 	stats  Stats
 	lastHW float64 // last traced high-water fraction
 
 	tracer     *obs.Tracer
+	spans      *obs.SpanTracer
 	batchCtr   *obs.Counter
 	preemptCtr *obs.Counter
 	kvGauge    *obs.Gauge
@@ -153,9 +218,11 @@ func NewReplica(eng *sim.Engine, cfg Config, dev *gpu.Device, idx int, pool int8
 		kvPerTok:      int(kvPerTok),
 		kvCapToks:     int(cfg.kvCapacityBytes(dev.Spec()) / kvPerTok),
 		weightsPerGPU: cfg.Model.WeightBytes(cfg.DType) / float64(cfg.TensorParallel),
+		scale:         float64(cfg.TensorParallel),
 	}
 	o := eng.Observer()
 	r.tracer = o.Trace()
+	r.spans = o.SpanSink()
 	r.batchCtr = o.Counter("serve_batches_total")
 	r.preemptCtr = o.Counter("serve_preemptions_total")
 	r.kvGauge = o.Gauge("serve_kv_highwater_frac")
@@ -219,6 +286,9 @@ func (r *Replica) Enqueue(now sim.Time, req workload.Request) bool {
 	if s.prefillTarget < 1 {
 		s.prefillTarget = 1
 	}
+	if r.spans != nil {
+		s.tr = &seqTrace{next: 2, queueStart: now, queueOpen: true}
+	}
 	r.waiting = append(r.waiting, s)
 	if !r.iterActive {
 		r.startIteration(now)
@@ -228,21 +298,38 @@ func (r *Replica) Enqueue(now sim.Time, req workload.Request) bool {
 
 // Fail drops every sequence the replica holds (running and waiting) and
 // cancels the in-flight iteration — the node died under it. The replica
-// revives cold on the next Enqueue.
+// revives cold on the next Enqueue. The cancelled iteration's consumed
+// energy is settled and attributed first, so per-request attribution stays
+// conserved across node deaths.
 func (r *Replica) Fail(now sim.Time) {
 	if r.iterActive {
 		r.iterTimer.Stop()
 		r.iterActive = false
+		partialJ := r.iterBankedJ + r.iterExec.EnergyUpTo(now-r.iterStart)
+		r.stats.EnergyJ += partialJ
+		totalToks := 0
+		for _, s := range r.running {
+			totalToks += s.chunk + s.steps
+		}
+		if totalToks > 0 {
+			perTokJ := partialJ * r.scale / float64(totalToks)
+			for _, s := range r.running {
+				s.energyJ += perTokJ * float64(s.chunk+s.steps)
+			}
+		}
 	}
 	for _, s := range r.running {
 		r.freeKV(s)
 		s.chunk, s.steps = 0, 0
+		r.emitRootSpan(s, now, "node-death")
 		r.stats.Dropped++
 		if r.OnDrop != nil {
 			r.OnDrop(s, now, "node-death")
 		}
 	}
 	for _, s := range r.waiting {
+		r.closeQueueSpan(s, now)
+		r.emitRootSpan(s, now, "node-death")
 		r.stats.Dropped++
 		if r.OnDrop != nil {
 			r.OnDrop(s, now, "node-death")
@@ -281,6 +368,7 @@ func (r *Replica) Replan(now sim.Time) {
 		frac = 0
 	}
 	r.iterTimer.Stop()
+	r.iterBankedJ += r.iterExec.EnergyUpTo(elapsed)
 	r.iterPhase = r.iterPhase.Scale(1 - frac)
 	r.iterExec = r.dev.Run(r.iterPhase)
 	r.iterStart = now
@@ -367,6 +455,7 @@ func (r *Replica) formBatch(now sim.Time) (promptToks, decodeSeqs, stride int) {
 		projected += cand.prefillTarget
 		r.waiting = r.waiting[1:]
 		r.running = append(r.running, cand)
+		r.closeQueueSpan(cand, now)
 	}
 
 	// Hand out prompt chunks within the remaining token budget, clipped to
@@ -444,6 +533,7 @@ func (r *Replica) preemptNewest(now sim.Time) bool {
 		if s.kvRes == 0 {
 			continue
 		}
+		freedToks := s.kvRes
 		freed := float64(s.kvRes) * float64(r.kvPerTok)
 		r.freeKV(s)
 		s.preempts++
@@ -465,6 +555,16 @@ func (r *Replica) preemptNewest(now sim.Time) bool {
 				At: now, Kind: obs.KindPreempt, Server: int32(r.idx), Pool: r.pool,
 				Value: freed, Reason: "kv-pressure",
 			})
+		}
+		if s.tr != nil {
+			r.flushDecodeSpan(s)
+			sp := r.spanBase(s, obs.SpanPreempt)
+			sp.Start, sp.End = now, now
+			sp.Tokens = int32(freedToks)
+			sp.Reason = "kv-pressure"
+			r.spans.Emit(sp)
+			s.tr.queueStart = now
+			s.tr.queueOpen = true
 		}
 		return true
 	}
@@ -554,10 +654,22 @@ func (r *Replica) runIteration(now sim.Time, promptToks, decodeSeqs, stride int)
 	r.iterPhase = phase
 	r.iterExec = exec
 	r.iterStart = now
+	r.iterFormedAt = now
+	r.iterBankedJ = 0
+	// Cap-slowdown attribution baseline: when any knob throttles the device
+	// at formation, also time the iteration's uncapped counterfactual.
+	// Energy settles against it when the iteration finishes.
+	if r.dev.LockedClock() != 0 || r.dev.Brake() || r.dev.PowerCap() < r.dev.Spec().TDPWatts {
+		base := r.uncappedExec(phase)
+		r.iterBaseSec = base.Duration.Seconds()
+		r.iterBaseJ = base.Energy()
+	} else {
+		r.iterBaseSec = exec.Duration.Seconds()
+		r.iterBaseJ = exec.Energy()
+	}
 	r.iterTimer = r.eng.AfterCancelable(exec.Duration, r.finishIteration)
 
 	r.stats.Batches++
-	r.stats.EnergyJ += exec.Energy()
 	r.stats.PromptTokens += int64(promptToks)
 	r.stats.DecodeTokens += int64(decodeSeqs * stride)
 	r.batchCtr.Inc()
@@ -569,12 +681,60 @@ func (r *Replica) runIteration(now sim.Time, promptToks, decodeSeqs, stride int)
 	}
 }
 
-// finishIteration applies the iteration's planned token advances, retires
-// completed sequences, and chains into the next iteration.
+// uncappedExec times a phase with the device's clock lock, brake, and
+// power cap all released — the DVFS counterfactual for cap attribution.
+// Device knobs are restored before returning, so the run is observably
+// pure.
+func (r *Replica) uncappedExec(phase gpu.Phase) gpu.Exec {
+	lock, brake, cap := r.dev.LockedClock(), r.dev.Brake(), r.dev.PowerCap()
+	r.dev.LockClock(0)
+	r.dev.SetBrake(false)
+	r.dev.SetPowerCap(r.dev.Spec().TDPWatts)
+	exec := r.dev.Run(phase)
+	r.dev.LockClock(lock)
+	r.dev.SetBrake(brake)
+	r.dev.SetPowerCap(cap)
+	return exec
+}
+
+// finishIteration settles the iteration's energy (attributing it to the
+// participating sequences by token-weighted share), applies the planned
+// token advances, retires completed sequences, and chains into the next
+// iteration.
 func (r *Replica) finishIteration(now sim.Time) {
 	r.iterActive = false
+
+	// Settle energy and the cap counterfactual. On an uncapped iteration
+	// that was never replanned both deltas are exactly zero: the actual
+	// duration and energy are the very numbers the baseline recorded.
+	iterJ := r.iterBankedJ + r.iterExec.Energy()
+	r.stats.EnergyJ += iterJ
+	capSec := (now - r.iterFormedAt).Seconds() - r.iterBaseSec
+	capJ := iterJ - r.iterBaseJ
+	r.stats.CapExtraSec += capSec
+	r.stats.CapDeltaJ += capJ
+	totalToks := 0
+	for _, s := range r.running {
+		totalToks += s.chunk + s.steps
+	}
+	var perTokJ, perTokCapSec, perTokCapJ float64
+	if totalToks > 0 {
+		n := float64(totalToks)
+		perTokJ = iterJ * r.scale / n
+		perTokCapSec = capSec / n
+		perTokCapJ = capJ * r.scale / n
+	}
+
 	keep := r.running[:0]
 	for _, s := range r.running {
+		if toks := s.chunk + s.steps; toks > 0 {
+			s.energyJ += perTokJ * float64(toks)
+			s.capSec += perTokCapSec * float64(toks)
+			s.capJ += perTokCapJ * float64(toks)
+			if s.tr != nil {
+				r.spanIteration(s, now, perTokJ, perTokCapSec, perTokCapJ)
+			}
+		}
 		if s.chunk > 0 {
 			s.prefilled += s.chunk
 			s.kvTokens += s.chunk
@@ -601,6 +761,7 @@ func (r *Replica) finishIteration(now sim.Time) {
 		if s.decoded >= s.outputTarget() {
 			r.freeKV(s)
 			r.stats.Completed++
+			r.emitRootSpan(s, now, "")
 			if r.OnComplete != nil {
 				r.OnComplete(s, now)
 			}
@@ -613,6 +774,93 @@ func (r *Replica) finishIteration(now sim.Time) {
 	}
 	r.running = keep
 	r.startIteration(now)
+}
+
+// spanBase returns a child span of the sequence's tree with the shared
+// identity fields filled in. Callers must have checked s.tr != nil.
+func (r *Replica) spanBase(s *Seq, kind obs.SpanKind) obs.Span {
+	return obs.Span{
+		Req: s.Req.ID, ID: s.tr.childID(), Parent: 1, Kind: kind,
+		Server: int32(r.idx), Pool: r.pool, Class: s.Req.Class,
+	}
+}
+
+// closeQueueSpan emits the sequence's open queue span ending now (a no-op
+// when tracing is off or no queue span is open).
+func (r *Replica) closeQueueSpan(s *Seq, now sim.Time) {
+	if s.tr == nil || !s.tr.queueOpen {
+		return
+	}
+	s.tr.queueOpen = false
+	sp := r.spanBase(s, obs.SpanQueue)
+	sp.Start, sp.End = s.tr.queueStart, now
+	r.spans.Emit(sp)
+}
+
+// flushDecodeSpan emits the sequence's pending coalesced decode span.
+func (r *Replica) flushDecodeSpan(s *Seq) {
+	if s.tr == nil || !s.tr.hasPending {
+		return
+	}
+	s.tr.hasPending = false
+	r.spans.Emit(s.tr.pending)
+}
+
+// spanIteration records the settled iteration in the sequence's span tree:
+// a prefill span per prompt chunk, and decode iterations coalesced into
+// one span per uninterrupted run (back-to-back iterations chain at the
+// same instant, so a long generation stays a single span instead of one
+// per stride).
+func (r *Replica) spanIteration(s *Seq, now sim.Time, perTokJ, perTokCapSec, perTokCapJ float64) {
+	n := float64(s.chunk + s.steps)
+	energy, capSec, capJ := perTokJ*n, perTokCapSec*n, perTokCapJ*n
+	if s.chunk > 0 {
+		r.flushDecodeSpan(s)
+		sp := r.spanBase(s, obs.SpanPrefill)
+		sp.Start, sp.End = r.iterFormedAt, now
+		sp.Tokens = int32(s.chunk)
+		sp.Recompute = s.preempts > 0
+		sp.EnergyJ, sp.CapSec, sp.CapJ = energy, capSec, capJ
+		r.spans.Emit(sp)
+		return
+	}
+	if s.tr.hasPending && s.tr.pending.End == r.iterFormedAt {
+		p := &s.tr.pending
+		p.End = now
+		p.Tokens += int32(s.steps)
+		p.EnergyJ += energy
+		p.CapSec += capSec
+		p.CapJ += capJ
+		return
+	}
+	r.flushDecodeSpan(s)
+	sp := r.spanBase(s, obs.SpanDecode)
+	sp.Start, sp.End = r.iterFormedAt, now
+	sp.Tokens = int32(s.steps)
+	sp.EnergyJ, sp.CapSec, sp.CapJ = energy, capSec, capJ
+	s.tr.pending = sp
+	s.tr.hasPending = true
+}
+
+// emitRootSpan closes the sequence's tree with its root request span,
+// carrying the request-level attributions. reason is empty on completion
+// and names the cause on drops.
+func (r *Replica) emitRootSpan(s *Seq, now sim.Time, reason string) {
+	if s.tr == nil {
+		return
+	}
+	r.flushDecodeSpan(s)
+	r.spans.Emit(obs.Span{
+		Req: s.Req.ID, ID: 1, Kind: obs.SpanRequest,
+		Start: s.Req.Arrival, End: now,
+		Server: int32(r.idx), Pool: r.pool, Class: s.Req.Class,
+		Tokens:   int32(s.decoded),
+		Preempts: int32(s.preempts),
+		EnergyJ:  s.energyJ, CapSec: s.capSec, CapJ: s.capJ,
+		TTFTSec: s.TTFTSeconds(),
+		Reason:  reason,
+	})
+	s.tr = nil
 }
 
 // String describes the replica's instantaneous state (for debugging).
