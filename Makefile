@@ -2,9 +2,10 @@ GO ?= go
 
 # ci is the tier-1 gate: static checks, a full build, the race-enabled test
 # suite (which exercises the parallel sweep executor), a short substrate
-# benchmark smoke, a chaos smoke run, and a fault-spec fuzz smoke.
+# benchmark smoke, schema validation of the committed BENCH_*.json
+# trajectory, a chaos smoke run, and a fault-spec fuzz smoke.
 .PHONY: ci
-ci: vet staticcheck rand-audit build test bench-smoke chaos fuzz-smoke
+ci: vet staticcheck rand-audit build test bench-smoke bench-check chaos fuzz-smoke
 
 .PHONY: vet
 vet:
@@ -46,14 +47,63 @@ build:
 test:
 	$(GO) test -race -timeout 45m ./...
 
-# bench-smoke runs the engine, tracer, serving-scheduler, and quantile-sketch
-# micro-benchmarks briefly — enough to catch an allocation regression on the
-# event path, on the disabled observability fast paths (tracer and span
-# tracer), in the continuous-batching iteration loop, or in the t-digest Add
-# path without paying for a full run.
+# The hot-path benchmark set tracked by the BENCH_*.json trajectory: the
+# substrate micro-benchmarks (event heap, timers, observability fast paths,
+# quantile sketch, serving-scheduler iteration) plus the end-to-end
+# serve-mode day. BENCH_MICRO is the -bench regexp for the fast ones;
+# BenchmarkServeDay runs separately because one iteration simulates a full
+# 16-server day and needs its own -benchtime. BENCH_REQUIRE lists every
+# name; polca-bench -require fails the target if any stops matching, so a
+# renamed benchmark can never silently drop out of the smoke.
+BENCH_MICRO = ^(BenchmarkEngineEvents|BenchmarkQueuePushPop|BenchmarkTimerStop|BenchmarkTracerDisabled|BenchmarkTracerEnabled|BenchmarkServeTracerDisabled|BenchmarkSpanTracerDisabled|BenchmarkQuantileSketch|BenchmarkScheduler)$$
+BENCH_REQUIRE = BenchmarkEngineEvents,BenchmarkQueuePushPop,BenchmarkTimerStop,BenchmarkTracerDisabled,BenchmarkTracerEnabled,BenchmarkServeTracerDisabled,BenchmarkSpanTracerDisabled,BenchmarkQuantileSketch,BenchmarkScheduler,BenchmarkServeDay
+BENCH_PKGS = . ./internal/serve ./internal/obs
+
+# bench-smoke runs the hot-path set briefly — enough to catch an allocation
+# regression on the event path, the disabled observability fast paths, the
+# continuous-batching iteration loop, or the t-digest Add path without
+# paying for a full run — then asserts every listed benchmark actually ran.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Engine|Tracer|Scheduler|Quantile' -benchmem -benchtime 200000x . ./internal/serve ./internal/obs
+	@set -e; out=$$(mktemp); \
+	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem -benchtime 200000x $(BENCH_PKGS) > $$out; \
+	$(GO) test -run '^$$' -bench '^BenchmarkServeDay$$' -benchmem -benchtime 1x . >> $$out; \
+	cat $$out; \
+	$(GO) run ./cmd/polca-bench -require '$(BENCH_REQUIRE)' $$out; \
+	rm -f $$out
+
+# bench-json runs the hot-path set at full benchtime and writes the
+# versioned polca-bench/v1 artifact (BENCH_JSON, default BENCH_new.json).
+# Compare against the last committed snapshot with
+#   go run ./cmd/polca-bench -compare BENCH_N.json BENCH_new.json
+# which fails on >15% ns/op regressions and on any allocs/op increase.
+BENCH_JSON ?= BENCH_new.json
+.PHONY: bench-json
+bench-json:
+	@set -e; out=$$(mktemp); \
+	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem $(BENCH_PKGS) > $$out; \
+	$(GO) test -run '^$$' -bench '^BenchmarkServeDay$$' -benchmem -benchtime 3x . >> $$out; \
+	cat $$out; \
+	$(GO) run ./cmd/polca-bench -require '$(BENCH_REQUIRE)' $$out > /dev/null; \
+	$(GO) run ./cmd/polca-bench -o $(BENCH_JSON) $$out; \
+	rm -f $$out
+
+# bench-check schema-validates every committed BENCH_*.json so the
+# trajectory artifacts cannot rot unnoticed.
+.PHONY: bench-check
+bench-check:
+	$(GO) run ./cmd/polca-bench -check BENCH_*.json
+
+# bench-compare regenerates the artifact and diffs it against the newest
+# committed BENCH_*.json. Wall-clock deltas are advisory on shared runners;
+# allocs/op increases always fail.
+.PHONY: bench-compare
+bench-compare:
+	@set -e; \
+	base=$$(ls BENCH_*.json 2>/dev/null | grep -v '^$(BENCH_JSON)$$' | sort -V | tail -1); \
+	if [ -z "$$base" ]; then echo "bench-compare: no committed BENCH_*.json baseline"; exit 1; fi; \
+	$(MAKE) bench-json BENCH_JSON=$(BENCH_JSON); \
+	$(GO) run ./cmd/polca-bench -compare -advisory-time $$base $(BENCH_JSON)
 
 # bench runs every benchmark, including full artifact regeneration.
 .PHONY: bench

@@ -19,6 +19,7 @@ import (
 	"polca/internal/obs"
 	"polca/internal/plan"
 	"polca/internal/polca"
+	"polca/internal/serve"
 	"polca/internal/sim"
 	"polca/internal/trace"
 )
@@ -230,6 +231,41 @@ func BenchmarkRowHour(b *testing.B) {
 	wall := time.Since(start).Seconds()
 	if wall > 0 {
 		b.ReportMetric(float64(b.N)*3600/wall, "sim_s/wall_s")
+	}
+}
+
+// BenchmarkServeDay measures the request-level serving backend end to end:
+// one op simulates a full day on a 16-server serve-mode row (continuous
+// batching, KV accounting, POLCA capping) and reports wall-clock seconds per
+// simulated day plus engine events per wall-second — the numbers the
+// BENCH_*.json trajectory tracks for ROADMAP's site-scale goal.
+func BenchmarkServeDay(b *testing.B) {
+	cfg := cluster.Production()
+	cfg.BaseServers = 16
+	cfg.Serve = &serve.Config{}
+	shape := cfg.Shape()
+	rate := 0.6 * float64(cfg.Servers()) / shape.MeanServiceSec
+	rates := make([]float64, 24*60)
+	for i := range rates {
+		rates[i] = rate
+	}
+	arrPlan := trace.RatePlan{Bucket: time.Minute, Rates: rates, Shape: 32}
+	b.ResetTimer()
+	start := time.Now()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		eng := sim.New(int64(i + 1))
+		row := cluster.MustRow(eng, cfg, polca.New(polca.DefaultConfig()))
+		m := row.Run(arrPlan)
+		if m.Serve.Batches == 0 {
+			b.Fatal("serve row formed no batches")
+		}
+		events += eng.Dispatched()
+	}
+	wall := time.Since(start).Seconds()
+	if wall > 0 {
+		b.ReportMetric(wall/float64(b.N), "wall_s/day")
+		b.ReportMetric(float64(events)/wall, "events/s")
 	}
 }
 

@@ -16,7 +16,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -67,18 +66,38 @@ type request struct {
 	// in seconds
 	queue, prefill, recompute, stall float64
 	preempts                         int
+	haveRoot                         bool
+	// pending buffers children that arrived before their root — the
+	// critical-path window is unknown until the root supplies Start and
+	// TTFT. WriteJSONL emits each root first, so this stays empty on
+	// simulator output; it only fills on re-sorted or concatenated files.
+	pending []pendingChild
+}
+
+// pendingChild is the compact residue of a child span awaiting its root:
+// just what the fold needs, not the whole Span.
+type pendingChild struct {
+	id         int32
+	kind       obs.SpanKind
+	start, end time.Duration
+	recompute  bool
 }
 
 // latencySec is the request's total residency (arrival to completion/drop).
 func (r *request) latencySec() float64 { return (r.root.End - r.root.Start).Seconds() }
 
-// Analyze reads span JSONL and renders the offline report.
+// Analyze reads span JSONL in one streaming pass and renders the offline
+// report. Spans fold into per-request aggregates as they arrive, so memory
+// is proportional to the number of requests (plus any children whose root
+// has not arrived yet), never to the span count or the file size.
 func Analyze(r io.Reader, top int) (string, error) {
-	header, spans, err := readWithHeader(r)
+	f := newFolder()
+	var header []string
+	err := obs.ScanSpans(r, func(line string) { header = append(header, line) }, f.add)
 	if err != nil {
 		return "", err
 	}
-	reqs, err := fold(spans)
+	reqs, err := f.finish()
 	if err != nil {
 		return "", err
 	}
@@ -100,79 +119,81 @@ func Analyze(r io.Reader, top int) (string, error) {
 	return b.String(), nil
 }
 
-// readWithHeader splits the input into its `#` provenance header and the
-// parsed spans. The reader tees the raw bytes because obs.ReadSpans skips
-// comment lines itself.
-func readWithHeader(r io.Reader) ([]string, []obs.Span, error) {
-	var raw strings.Builder
-	if _, err := io.Copy(&raw, r); err != nil {
-		return nil, nil, err
-	}
-	var header []string
-	sc := bufio.NewScanner(strings.NewReader(raw.String()))
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if strings.HasPrefix(line, "#") {
-			header = append(header, line)
-		}
-	}
-	spans, err := obs.ReadSpans(strings.NewReader(raw.String()))
-	if err != nil {
-		return nil, nil, err
-	}
-	return header, spans, nil
+// folder incrementally groups spans by request and derives the
+// critical-path breakdown: child spans clipped to the [arrival,
+// arrival+TTFT] window, since the time to first token is what the breakdown
+// explains. Decode time never appears in the window (the first token rides
+// the final prefill chunk); whatever the children leave uncovered is
+// scheduler stall between iterations.
+type folder struct {
+	byReq map[int64]*request
 }
 
-// fold groups spans by request and derives the critical-path breakdown:
-// child spans clipped to the [arrival, arrival+TTFT] window, since the time
-// to first token is what the breakdown explains. Decode time never appears
-// in the window (the first token rides the final prefill chunk); whatever
-// the children leave uncovered is scheduler stall between iterations.
-func fold(spans []obs.Span) ([]*request, error) {
-	byReq := map[int64]*request{}
-	var order []int64
-	for _, sp := range spans {
-		if sp.Kind != obs.SpanRequest {
-			continue
-		}
-		if _, dup := byReq[sp.Req]; dup {
-			return nil, fmt.Errorf("request %d has two root spans", sp.Req)
-		}
-		byReq[sp.Req] = &request{root: sp}
-		order = append(order, sp.Req)
+func newFolder() *folder {
+	return &folder{byReq: map[int64]*request{}}
+}
+
+// add folds one span. Children fold immediately when their root is known;
+// otherwise a compact record is buffered until the root arrives.
+func (f *folder) add(sp obs.Span) error {
+	req := f.byReq[sp.Req]
+	if req == nil {
+		req = &request{}
+		f.byReq[sp.Req] = req
 	}
-	for _, sp := range spans {
-		if sp.Kind == obs.SpanRequest {
-			continue
+	if sp.Kind == obs.SpanRequest {
+		if req.haveRoot {
+			return fmt.Errorf("request %d has two root spans", sp.Req)
 		}
-		req := byReq[sp.Req]
-		if req == nil {
-			return nil, fmt.Errorf("span %d/%d has no request root", sp.Req, sp.ID)
+		req.root = sp
+		req.haveRoot = true
+		for _, c := range req.pending {
+			req.fold(c)
 		}
-		if sp.Kind == obs.SpanPreempt {
-			req.preempts++
-			continue
-		}
-		if req.root.TTFTSec < 0 {
-			continue // never produced a token: no critical path to split
-		}
-		windowEnd := req.root.Start + time.Duration(req.root.TTFTSec*float64(time.Second))
-		clipped := clip(sp.Start, sp.End, req.root.Start, windowEnd)
-		switch sp.Kind {
-		case obs.SpanQueue:
-			req.queue += clipped
-		case obs.SpanPrefill:
-			if sp.Recompute {
-				req.recompute += clipped
-			} else {
-				req.prefill += clipped
-			}
+		req.pending = nil
+		return nil
+	}
+	c := pendingChild{id: sp.ID, kind: sp.Kind, start: sp.Start, end: sp.End, recompute: sp.Recompute}
+	if !req.haveRoot {
+		req.pending = append(req.pending, c)
+		return nil
+	}
+	req.fold(c)
+	return nil
+}
+
+// fold applies one child to the request's aggregates. Callers guarantee the
+// root is present.
+func (r *request) fold(c pendingChild) {
+	if c.kind == obs.SpanPreempt {
+		r.preempts++
+		return
+	}
+	if r.root.TTFTSec < 0 {
+		return // never produced a token: no critical path to split
+	}
+	windowEnd := r.root.Start + time.Duration(r.root.TTFTSec*float64(time.Second))
+	clipped := clip(c.start, c.end, r.root.Start, windowEnd)
+	switch c.kind {
+	case obs.SpanQueue:
+		r.queue += clipped
+	case obs.SpanPrefill:
+		if c.recompute {
+			r.recompute += clipped
+		} else {
+			r.prefill += clipped
 		}
 	}
-	reqs := make([]*request, 0, len(order))
-	for _, id := range order {
-		req := byReq[id]
+}
+
+// finish validates that every buffered child found its root, computes the
+// stall residuals, and returns the requests ordered by ID.
+func (f *folder) finish() ([]*request, error) {
+	reqs := make([]*request, 0, len(f.byReq))
+	for id, req := range f.byReq {
+		if !req.haveRoot {
+			return nil, fmt.Errorf("span %d/%d has no request root", id, req.pending[0].id)
+		}
 		if req.root.TTFTSec >= 0 {
 			if stall := req.root.TTFTSec - req.queue - req.prefill - req.recompute; stall > 0 {
 				req.stall = stall

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"polca/internal/obs"
 	"polca/internal/stats"
@@ -149,5 +153,113 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if _, err := Analyze(strings.NewReader(""), 5); err == nil {
 		t.Error("Analyze accepted an empty trace")
+	}
+}
+
+// writeSyntheticSpans streams nReq synthetic request trees (5 spans each:
+// root, queue, prefill, decode, preempt) in WriteJSONL order — root first —
+// to w, without materializing them.
+func writeSyntheticSpans(w io.Writer, nReq int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# polca-sim synthetic memory fixture")
+	for i := 0; i < nReq; i++ {
+		base := int64(i) * 1_000_000 // µs
+		class := []string{"chat", "code", "summarize"}[i%3]
+		if _, err := fmt.Fprintf(bw,
+			`{"req":%d,"id":1,"kind":"request","start_us":%d,"end_us":%d,"server":%d,"class":"%s","tokens":600,"preempts":1,"energy_j":%g,"cap_s":0.02,"ttft_s":0.8}`+"\n",
+			i, base, base+30_000_000, i%16, class, 100.0+float64(i%50)); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, `{"req":%d,"id":2,"parent":1,"kind":"queue","start_us":%d,"end_us":%d,"class":"%s"}`+"\n",
+			i, base, base+300_000, class)
+		fmt.Fprintf(bw, `{"req":%d,"id":3,"parent":1,"kind":"prefill","start_us":%d,"end_us":%d,"class":"%s","tokens":512}`+"\n",
+			i, base+300_000, base+500_000, class)
+		fmt.Fprintf(bw, `{"req":%d,"id":4,"parent":1,"kind":"decode","start_us":%d,"end_us":%d,"class":"%s","tokens":600,"energy_j":%g}`+"\n",
+			i, base+500_000, base+30_000_000, class, 90.0+float64(i%50))
+		if _, err := fmt.Fprintf(bw, `{"req":%d,"id":5,"parent":1,"kind":"preempt","start_us":%d,"end_us":%d,"class":"%s","tokens":128}`+"\n",
+			i, base+700_000, base+700_000, class); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TestAnalyzeStreamsInFixedMemory is the acceptance test for the streaming
+// input path: 40k requests × 5 spans = 200k spans arrive through a pipe (no
+// backing buffer to mistake for the analyzer's own memory), and the heap
+// high-water mark during Analyze must stay under a budget far below what
+// materializing the file plus a []obs.Span (the old two-scan path) costs.
+func TestAnalyzeStreamsInFixedMemory(t *testing.T) {
+	const nReq = 40_000
+	const budget = 96 << 20 // bytes of peak HeapAlloc
+
+	runtime.GC()
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(writeSyntheticSpans(pw, nReq)) }()
+
+	done := make(chan struct{})
+	var peak uint64
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-done:
+			default:
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			return
+		}
+	}()
+
+	report, err := Analyze(pr, 10)
+	done <- struct{}{}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, fmt.Sprintf("Requests: %d (%d completed", nReq, nReq)) {
+		t.Errorf("report did not fold all %d requests:\n%s", nReq, report[:200])
+	}
+	t.Logf("peak HeapAlloc %.1f MiB over %d spans (budget %d MiB)",
+		float64(peak)/(1<<20), nReq*5, budget>>20)
+	if peak > budget {
+		t.Errorf("peak HeapAlloc %d MiB exceeds the %d MiB streaming budget", peak>>20, budget>>20)
+	}
+}
+
+// TestFoldOutOfOrderAndErrors exercises the incremental folder's buffering
+// and failure paths: children before their root fold identically, a child
+// with no root anywhere is an error, and a duplicated root is an error.
+func TestFoldOutOfOrderAndErrors(t *testing.T) {
+	root := `{"req":3,"id":1,"kind":"request","start_us":0,"end_us":2000000,"class":"chat","tokens":10,"energy_j":5,"ttft_s":1.0}`
+	queue := `{"req":3,"id":2,"kind":"queue","start_us":0,"end_us":400000}`
+	prefill := `{"req":3,"id":3,"kind":"prefill","start_us":400000,"end_us":900000,"tokens":64}`
+	preempt := `{"req":3,"id":4,"kind":"preempt","start_us":500000,"end_us":500000}`
+
+	inOrder, err := Analyze(strings.NewReader(root+"\n"+queue+"\n"+prefill+"\n"+preempt+"\n"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed, err := Analyze(strings.NewReader(preempt+"\n"+prefill+"\n"+queue+"\n"+root+"\n"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inOrder != reversed {
+		t.Errorf("root-last input folds differently:\n--- root first ---\n%s\n--- root last ---\n%s", inOrder, reversed)
+	}
+
+	if _, err := Analyze(strings.NewReader(queue+"\n"), 5); err == nil ||
+		!strings.Contains(err.Error(), "no request root") {
+		t.Errorf("orphan child err = %v", err)
+	}
+	if _, err := Analyze(strings.NewReader(root+"\n"+root+"\n"), 5); err == nil ||
+		!strings.Contains(err.Error(), "two root spans") {
+		t.Errorf("duplicate root err = %v", err)
 	}
 }

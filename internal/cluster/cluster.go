@@ -434,6 +434,13 @@ type node struct {
 	// rep is the node's serving replica in serve mode (nil in slot mode);
 	// it replaces active as the source of busy time and power.
 	rep *serve.Replica
+
+	// Telemetry-sampling constants, cached at construction: the idle draw
+	// of the representative device and the GPU-group scale (device power →
+	// aggregate GPU power). nodePower runs on every sub-tick for every
+	// node, and fetching these through the spec copies it each time.
+	gpuIdleW float64
+	gpuScale float64
 }
 
 // activeReq tracks the request a node is executing.
@@ -566,6 +573,8 @@ func NewRow(eng *sim.Engine, cfg RowConfig, ctrl Controller) (*Row, error) {
 		}
 		s := server.New(i, spec)
 		n := &node{idx: i, pri: pri, srv: s, dev: s.GPUs()[0]}
+		n.gpuIdleW = n.dev.Spec().IdleWatts
+		n.gpuScale = float64(s.Spec().GPUCount) * cfg.PowerIntensity
 		r.nodes = append(r.nodes, n)
 		r.pools[pri] = append(r.pools[pri], n)
 	}
@@ -1150,9 +1159,9 @@ func (r *Row) nodePower(n *node, now sim.Time) float64 {
 	case n.active != nil:
 		gpuW = n.active.exec.PowerAt(now - n.active.phaseStart)
 	default:
-		gpuW = n.dev.Spec().IdleWatts
+		gpuW = n.gpuIdleW
 	}
-	gpuW *= float64(n.srv.Spec().GPUCount) * r.cfg.PowerIntensity
+	gpuW *= n.gpuScale
 	return n.srv.PowerFromGPUs(gpuW)
 }
 

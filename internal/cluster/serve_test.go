@@ -345,3 +345,104 @@ func TestServeSpanConservation(t *testing.T) {
 		})
 	}
 }
+
+// TestServeCoalescingEquivalence runs the same serve-mode scenarios with
+// decode-span coalescing on (the default) and forced off, and requires
+// every row-level aggregate to be byte-identical. This is the cluster-scale
+// counterpart of the replica equivalence property: cap replans from the
+// controller, KV-pressure preemption, node death mid-decode, and a combined
+// chaos spec must all leave the coalesced trajectory indistinguishable from
+// the per-stride one.
+func TestServeCoalescingEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name string
+		prep func(cfg *cluster.RowConfig) cluster.Controller
+	}{
+		{
+			name: "cap-replans",
+			prep: func(cfg *cluster.RowConfig) cluster.Controller {
+				cfg.AddedFraction = 0.30
+				return &recordingCtrl{lockLP: 1100}
+			},
+		},
+		{
+			name: "kv-pressure",
+			prep: func(cfg *cluster.RowConfig) cluster.Controller {
+				cfg.Serve.GPUMemUtil = 0.62
+				return &recordingCtrl{}
+			},
+		},
+		{
+			name: "node-death",
+			prep: func(cfg *cluster.RowConfig) cluster.Controller {
+				cfg.Faults = faults.Spec{
+					Kills: []faults.Kill{{Servers: 2, Window: faults.Window{Start: 10 * time.Minute, Dur: 20 * time.Minute}}},
+				}
+				return &recordingCtrl{}
+			},
+		},
+		{
+			name: "combined-chaos",
+			prep: func(cfg *cluster.RowConfig) cluster.Controller {
+				cfg.AddedFraction = 0.30
+				cfg.Faults = mustSpec(t, "crash=5m+30,kill=1@9m+1m,slow=1:1.5")
+				return &recordingCtrl{lockLP: 1100}
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(noCoalesce bool) *cluster.Metrics {
+				cfg := serveConfig()
+				ctrl := sc.prep(&cfg)
+				cfg.Serve.NoCoalesce = noCoalesce
+				return runRow(t, cfg, ctrl, flatPlan(cfg, 0.8, 40*time.Minute))
+			}
+			a, b := run(false), run(true)
+			if a.Serve != b.Serve {
+				t.Errorf("serve stats differ:\ncoalesced:  %+v\nper-stride: %+v", a.Serve, b.Serve)
+			}
+			if len(a.Util.Values) != len(b.Util.Values) {
+				t.Fatalf("power series lengths differ: %d vs %d", len(a.Util.Values), len(b.Util.Values))
+			}
+			for i := range a.Util.Values {
+				if a.Util.Values[i] != b.Util.Values[i] {
+					t.Fatalf("power series differs at sample %d: %v vs %v",
+						i, a.Util.Values[i], b.Util.Values[i])
+				}
+			}
+			for _, pri := range []workload.Priority{workload.Low, workload.High} {
+				if a.Completed[pri] != b.Completed[pri] || a.Dropped[pri] != b.Dropped[pri] {
+					t.Errorf("%v: completed %d/%d dropped %d/%d differ", pri,
+						a.Completed[pri], b.Completed[pri], a.Dropped[pri], b.Dropped[pri])
+				}
+				xs, ys := a.LatencySec[pri], b.LatencySec[pri]
+				if len(xs) != len(ys) {
+					t.Fatalf("%v: latency counts differ: %d vs %d", pri, len(xs), len(ys))
+				}
+				for i := range xs {
+					if xs[i] != ys[i] {
+						t.Fatalf("%v: latency[%d] differs: %v vs %v", pri, i, xs[i], ys[i])
+					}
+				}
+			}
+			for class, xs := range a.TTFT {
+				ys := b.TTFT[class]
+				if ys == nil || xs.Count() != ys.Count() {
+					t.Fatalf("TTFT sample counts differ for %s", class)
+				}
+				for _, p := range []float64{50, 99} {
+					if xs.Percentile(p) != ys.Percentile(p) {
+						t.Fatalf("TTFT p%.0f differs for %s", p, class)
+					}
+					if a.TBT[class].Percentile(p) != b.TBT[class].Percentile(p) {
+						t.Fatalf("TBT p%.0f differs for %s", p, class)
+					}
+				}
+				if a.ClassEnergyJ[class] != b.ClassEnergyJ[class] {
+					t.Fatalf("class energy differs for %s", class)
+				}
+			}
+		})
+	}
+}

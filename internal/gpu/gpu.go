@@ -311,7 +311,7 @@ func (p Phase) effFactor() float64 {
 }
 
 // phaseTiming computes the roofline timing of a phase at a clock ratio.
-func (d *Device) phaseTiming(p Phase, ratio float64) (total, tc, tm float64) {
+func (d *Device) phaseTiming(p *Phase, ratio float64) (total, tc, tm float64) {
 	eff := p.DType.KernelEfficiency() * p.effFactor()
 	flops := d.spec.PeakFLOPS(p.DType) * eff * ratio * d.perfVar
 	tc = 0.0
@@ -319,14 +319,14 @@ func (d *Device) phaseTiming(p Phase, ratio float64) (total, tc, tm float64) {
 		tc = p.FLOPs / flops
 	}
 	tm = p.MemBytes / (d.spec.MemBandwidthGBps * 1e9)
-	busy := math.Max(tc, tm)
+	busy := max(tc, tm)
 	total = busy + p.CommSeconds + p.OverheadSeconds/ratio
 	return total, tc, tm
 }
 
 // countersAt derives the counter values for a phase executing at a clock
 // ratio, given its timing decomposition.
-func (d *Device) countersAt(p Phase, ratio, total, tc, tm float64) Counters {
+func (d *Device) countersAt(p *Phase, ratio, total, tc, tm float64) Counters {
 	if total <= 0 {
 		return d.idleCounters()
 	}
@@ -336,13 +336,13 @@ func (d *Device) countersAt(p Phase, ratio, total, tc, tm float64) Counters {
 	tensorAct := tc * p.TensorFrac * p.effFactor() / total
 	smAct := (tc + overhead) / total
 	memAct := tm / total
-	clamp01 := func(x float64) float64 { return math.Min(math.Max(x, 0), 1) }
+	clamp01 := func(x float64) float64 { return min(max(x, 0), 1) }
 	tensorAct, smAct, memAct = clamp01(tensorAct), clamp01(smAct), clamp01(memAct)
-	util := clamp01((math.Max(tc, tm) + overhead) / total)
+	util := clamp01((max(tc, tm) + overhead) / total)
 
 	dyn := math.Pow(ratio, d.spec.DVFSAlpha) * d.powerVar
 	power := d.spec.IdleWatts +
-		dyn*(d.spec.TensorWatts*tensorAct+d.spec.SMWatts*math.Max(smAct-tensorAct, 0)+d.spec.ClockWatts*util) +
+		dyn*(d.spec.TensorWatts*tensorAct+d.spec.SMWatts*max(smAct-tensorAct, 0)+d.spec.ClockWatts*util) +
 		d.spec.MemWatts*memAct*d.powerVar
 	return Counters{
 		PowerWatts:     power,
@@ -373,7 +373,7 @@ func (d *Device) Idle(dur time.Duration) Exec {
 // phase's steady-state power respects the cap. The solution accounts for
 // activity fractions changing as the clock drops (a memory-bound phase
 // becomes no less memory-bound at lower clocks), solved by bisection.
-func (d *Device) throttleRatioFor(p Phase, maxRatio float64) float64 {
+func (d *Device) throttleRatioFor(p *Phase, maxRatio float64) float64 {
 	lo := d.spec.MinSMClockMHz / d.spec.MaxSMClockMHz
 	hi := maxRatio
 	powerAt := func(r float64) float64 {
@@ -407,45 +407,55 @@ func (d *Device) throttleRatioFor(p Phase, maxRatio float64) float64 {
 // (extending the phase's duration accordingly). Frequency locks and the
 // power brake bound the clock from the start and never overshoot.
 func (d *Device) Run(p Phase) Exec {
+	var e Exec
+	d.RunInto(p, &e)
+	return e
+}
+
+// RunInto is Run with a caller-owned result: the previous contents of e are
+// discarded and its Segments backing array is reused, so steady-state
+// callers (the serving scheduler times millions of iterations) pay no
+// allocation once the buffer has warmed up.
+func (d *Device) RunInto(p Phase, e *Exec) {
 	if p.FLOPs < 0 || p.MemBytes < 0 || p.CommSeconds < 0 || p.OverheadSeconds < 0 {
 		panic(fmt.Sprintf("gpu: negative work in phase %q", p.Name))
 	}
+	e.Segments = e.Segments[:0]
+	e.Duration = 0
 	maxRatio := d.clockCeilingMHz() / d.spec.MaxSMClockMHz
 
-	fullTotal, tc, tm := d.phaseTiming(p, maxRatio)
+	fullTotal, tc, tm := d.phaseTiming(&p, maxRatio)
 	if fullTotal <= 0 {
-		return Exec{}
+		return
 	}
-	full := d.countersAt(p, maxRatio, fullTotal, tc, tm)
+	full := d.countersAt(&p, maxRatio, fullTotal, tc, tm)
 
 	if full.PowerWatts <= d.powerCapWatts+1e-9 {
 		dur := secToDur(fullTotal)
-		return Exec{
-			Segments: []Segment{{Duration: dur, Counters: full}},
-			Duration: dur,
-		}
+		e.Segments = append(e.Segments, Segment{Duration: dur, Counters: full})
+		e.Duration = dur
+		return
 	}
 
 	// Cap violated: overshoot segment, then throttled remainder.
-	throttled := d.throttleRatioFor(p, maxRatio)
+	throttled := d.throttleRatioFor(&p, maxRatio)
 	react := d.spec.CapReactionInterval.Seconds()
 	if fullTotal <= react {
 		// Spike shorter than the limiter's reaction: full overshoot.
 		dur := secToDur(fullTotal)
-		return Exec{
-			Segments: []Segment{{Duration: dur, Counters: full}},
-			Duration: dur,
-		}
+		e.Segments = append(e.Segments, Segment{Duration: dur, Counters: full})
+		e.Duration = dur
+		return
 	}
 	doneFrac := react / fullTotal // fraction of work done before throttling
 	rest := p.Scale(1 - doneFrac)
-	restTotal, rtc, rtm := d.phaseTiming(rest, throttled)
-	restCtr := d.countersAt(rest, throttled, restTotal, rtc, rtm)
-	segs := []Segment{
-		{Duration: secToDur(react), Counters: full},
-		{Duration: secToDur(restTotal), Counters: restCtr},
-	}
-	return Exec{Segments: segs, Duration: segs[0].Duration + segs[1].Duration}
+	restTotal, rtc, rtm := d.phaseTiming(&rest, throttled)
+	restCtr := d.countersAt(&rest, throttled, restTotal, rtc, rtm)
+	e.Segments = append(e.Segments,
+		Segment{Duration: secToDur(react), Counters: full},
+		Segment{Duration: secToDur(restTotal), Counters: restCtr},
+	)
+	e.Duration = e.Segments[0].Duration + e.Segments[1].Duration
 }
 
 // Scale returns a copy of the phase with all work multiplied by frac. The
@@ -477,11 +487,11 @@ func secToDur(s float64) time.Duration {
 // height of the initial spike).
 func (d *Device) PeakPower(p Phase) float64 {
 	maxRatio := d.clockCeilingMHz() / d.spec.MaxSMClockMHz
-	total, tc, tm := d.phaseTiming(p, maxRatio)
+	total, tc, tm := d.phaseTiming(&p, maxRatio)
 	if total <= 0 {
 		return d.spec.IdleWatts
 	}
-	return d.countersAt(p, maxRatio, total, tc, tm).PowerWatts
+	return d.countersAt(&p, maxRatio, total, tc, tm).PowerWatts
 }
 
 // MeanPower returns the time-weighted mean power of an Exec.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -373,55 +374,98 @@ type spanJSON struct {
 	Reason    string  `json:"reason"`
 }
 
-// ReadSpans parses span JSONL produced by WriteJSONL, skipping blank lines
-// and `#` provenance headers. It is the input side of cmd/polca-analyze.
-func ReadSpans(r io.Reader) ([]Span, error) {
+// scanSpansMaxLine bounds one JSONL line. Span lines are a few hundred
+// bytes, but the limit is generous so a hand-edited or concatenated file
+// fails with a line-numbered error rather than a silent mid-file stop.
+const scanSpansMaxLine = 64 * 1024 * 1024
+
+// ScanSpans streams span JSONL produced by WriteJSONL: one callback per
+// parsed span, in file order, without materializing the file or the span
+// slice. Blank lines are skipped; `#` provenance lines go to comment (when
+// non-nil) instead of the parser. Errors — malformed JSON, unknown kinds,
+// lines beyond the 64 MiB cap, or an error returned by fn (which aborts the
+// scan) — carry the 1-based line number.
+func ScanSpans(r io.Reader, comment func(line string), fn func(sp Span) error) error {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	var out []Span
+	sc.Buffer(make([]byte, 0, 64*1024), scanSpansMaxLine)
 	line := 0
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
-		if len(raw) == 0 || raw[0] == '#' {
+		if len(raw) == 0 {
 			continue
 		}
-		sj := spanJSON{Server: -1, Pool: "", TTFTSec: -1}
-		if err := json.Unmarshal(raw, &sj); err != nil {
-			return nil, fmt.Errorf("spans line %d: %w", line, err)
+		if raw[0] == '#' {
+			if comment != nil {
+				comment(string(raw))
+			}
+			continue
 		}
-		kind, ok := ParseSpanKind(sj.Kind)
-		if !ok {
-			return nil, fmt.Errorf("spans line %d: unknown kind %q", line, sj.Kind)
+		sp, err := parseSpanLine(raw)
+		if err != nil {
+			return fmt.Errorf("spans line %d: %w", line, err)
 		}
-		pool := PoolNone
-		switch sj.Pool {
-		case "low":
-			pool = PoolLow
-		case "high":
-			pool = PoolHigh
+		if err := fn(sp); err != nil {
+			return fmt.Errorf("spans line %d: %w", line, err)
 		}
-		out = append(out, Span{
-			Req:       sj.Req,
-			ID:        sj.ID,
-			Parent:    sj.Parent,
-			Kind:      kind,
-			Start:     time.Duration(sj.StartUS) * time.Microsecond,
-			End:       time.Duration(sj.EndUS) * time.Microsecond,
-			Server:    sj.Server,
-			Pool:      pool,
-			Class:     sj.Class,
-			Tokens:    sj.Tokens,
-			Recompute: sj.Recompute,
-			Preempts:  sj.Preempts,
-			EnergyJ:   sj.EnergyJ,
-			CapSec:    sj.CapSec,
-			CapJ:      sj.CapJ,
-			TTFTSec:   sj.TTFTSec,
-			Reason:    sj.Reason,
-		})
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("spans line %d: longer than %d bytes: %w", line+1, scanSpansMaxLine, err)
+		}
+		return fmt.Errorf("spans line %d: %w", line+1, err)
+	}
+	return nil
+}
+
+// parseSpanLine decodes one non-comment JSONL line into a Span.
+func parseSpanLine(raw []byte) (Span, error) {
+	sj := spanJSON{Server: -1, Pool: "", TTFTSec: -1}
+	if err := json.Unmarshal(raw, &sj); err != nil {
+		return Span{}, err
+	}
+	kind, ok := ParseSpanKind(sj.Kind)
+	if !ok {
+		return Span{}, fmt.Errorf("unknown kind %q", sj.Kind)
+	}
+	pool := PoolNone
+	switch sj.Pool {
+	case "low":
+		pool = PoolLow
+	case "high":
+		pool = PoolHigh
+	}
+	return Span{
+		Req:       sj.Req,
+		ID:        sj.ID,
+		Parent:    sj.Parent,
+		Kind:      kind,
+		Start:     time.Duration(sj.StartUS) * time.Microsecond,
+		End:       time.Duration(sj.EndUS) * time.Microsecond,
+		Server:    sj.Server,
+		Pool:      pool,
+		Class:     sj.Class,
+		Tokens:    sj.Tokens,
+		Recompute: sj.Recompute,
+		Preempts:  sj.Preempts,
+		EnergyJ:   sj.EnergyJ,
+		CapSec:    sj.CapSec,
+		CapJ:      sj.CapJ,
+		TTFTSec:   sj.TTFTSec,
+		Reason:    sj.Reason,
+	}, nil
+}
+
+// ReadSpans parses span JSONL produced by WriteJSONL, skipping blank lines
+// and `#` provenance headers. Consumers that don't need the whole slice at
+// once should prefer ScanSpans, which this wraps.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var out []Span
+	err := ScanSpans(r, nil, func(sp Span) error {
+		out = append(out, sp)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

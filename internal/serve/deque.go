@@ -1,0 +1,66 @@
+package serve
+
+// seqDeque is a ring-buffer double-ended queue of sequences. The waiting
+// queue needs O(1) at both ends: arrivals push back, admission pops front,
+// and preemption-for-recompute pushes front — the last two were an
+// append-shift and a copy-shift on a plain slice, which leaked capacity and
+// dominated the scheduler's steady-state allocations.
+type seqDeque struct {
+	buf  []*Seq
+	head int
+	n    int
+}
+
+// Len returns the number of queued sequences.
+func (d *seqDeque) Len() int { return d.n }
+
+// At returns the i-th sequence from the front without removing it.
+func (d *seqDeque) At(i int) *Seq {
+	return d.buf[(d.head+i)%len(d.buf)]
+}
+
+// PushBack appends a sequence at the tail.
+func (d *seqDeque) PushBack(s *Seq) {
+	d.grow()
+	d.buf[(d.head+d.n)%len(d.buf)] = s
+	d.n++
+}
+
+// PushFront prepends a sequence at the head (preemption requeues here so
+// the evicted sequence is readmitted first).
+func (d *seqDeque) PushFront(s *Seq) {
+	d.grow()
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = s
+	d.n++
+}
+
+// PopFront removes and returns the head sequence.
+func (d *seqDeque) PopFront() *Seq {
+	s := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return s
+}
+
+// Clear empties the deque, nilling entries so retired sequences are not
+// pinned by the buffer.
+func (d *seqDeque) Clear() {
+	for i := 0; i < d.n; i++ {
+		d.buf[(d.head+i)%len(d.buf)] = nil
+	}
+	d.head, d.n = 0, 0
+}
+
+// grow doubles the buffer when full (minimum 8), unwrapping the ring.
+func (d *seqDeque) grow() {
+	if d.n < len(d.buf) {
+		return
+	}
+	next := make([]*Seq, max(8, 2*len(d.buf)))
+	for i := 0; i < d.n; i++ {
+		next[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf, d.head = next, 0
+}

@@ -27,8 +27,11 @@ func energyRun(t *testing.T, shape func(eng *sim.Engine, rep *Replica, dev *gpu.
 		t.Fatal(err)
 	}
 	var done []*Seq
-	rep.OnComplete = func(s *Seq, now sim.Time) { done = append(done, s) }
-	rep.OnDrop = func(s *Seq, now sim.Time, reason string) { done = append(done, s) }
+	// Retired *Seq values are recycled after the callback returns; keep
+	// value copies.
+	keep := func(s *Seq) { cp := *s; done = append(done, &cp) }
+	rep.OnComplete = func(s *Seq, now sim.Time) { keep(s) }
+	rep.OnDrop = func(s *Seq, now sim.Time, reason string) { keep(s) }
 	for i := 0; i < 12; i++ {
 		if !rep.Enqueue(0, workload.Request{ID: int64(i), Input: 600, Output: 300, Class: "chat"}) {
 			t.Fatalf("enqueue %d rejected", i)
@@ -165,8 +168,9 @@ func TestEnergyConservationAcrossFail(t *testing.T) {
 		t.Fatal(err)
 	}
 	var done []*Seq
-	rep.OnComplete = func(s *Seq, now sim.Time) { done = append(done, s) }
-	rep.OnDrop = func(s *Seq, now sim.Time, reason string) { done = append(done, s) }
+	keep := func(s *Seq) { cp := *s; done = append(done, &cp) }
+	rep.OnComplete = func(s *Seq, now sim.Time) { keep(s) }
+	rep.OnDrop = func(s *Seq, now sim.Time, reason string) { keep(s) }
 	for i := 0; i < 12; i++ {
 		rep.Enqueue(0, workload.Request{ID: int64(i), Input: 600, Output: 300})
 	}
@@ -306,7 +310,7 @@ func TestSpansOffAttributionStillOn(t *testing.T) {
 		t.Fatal("replica without observer has a span tracer")
 	}
 	var done []*Seq
-	rep.OnComplete = func(s *Seq, now sim.Time) { done = append(done, s) }
+	rep.OnComplete = func(s *Seq, now sim.Time) { cp := *s; done = append(done, &cp) }
 	for i := 0; i < 12; i++ {
 		rep.Enqueue(0, workload.Request{ID: int64(i), Input: 600, Output: 300})
 	}

@@ -13,6 +13,12 @@ import (
 // Seq is one request moving through a replica: waiting, then running
 // (prefill followed by decode), possibly bounced back to waiting by a
 // preemption, until its output length is reached.
+//
+// Lifetime: the replica owns its sequences and recycles them through a free
+// list once they retire. A *Seq handed to OnFirstToken, OnComplete, or
+// OnDrop is valid only for the duration of the callback; callers that need
+// the values afterwards must copy them out (or snapshot the whole struct by
+// value) before returning.
 type Seq struct {
 	Req      workload.Request
 	Enqueued sim.Time
@@ -153,6 +159,27 @@ type Stats struct {
 	CapDeltaJ   float64
 }
 
+// spanSeg is one planned iteration inside a coalesced decode span: a
+// pure-decode batch whose formation, execution, and settlement have been
+// computed ahead of time. Segments before the one containing "now" settle
+// lazily (their effects are applied when the span ends or breaks); the
+// per-segment snapshot carries everything the per-stride path would have
+// produced at the same instants, so settlement is bit-identical.
+type spanSeg struct {
+	start, end sim.Time
+	stride     int
+	phase      gpu.Phase
+	exec       gpu.Exec
+	baseSec    float64 // DVFS-uncapped counterfactual duration, seconds
+	baseJ      float64 // DVFS-uncapped counterfactual energy, joules
+	kvAfter    int     // replica kvToks after this segment's reservations
+	memGB      float64 // device resident memory at this segment's formation
+}
+
+// maxSpanSegs bounds how far ahead a span plans. Interrupted spans discard
+// the unreached tail, so an over-long horizon only wastes planning work.
+const maxSpanSegs = 128
+
 // Replica is one continuous-batching serving instance: a tensor-parallel
 // group modeled by a single representative device (all GPUs in the group
 // execute identical phases, as in the slot model).
@@ -167,8 +194,10 @@ type Replica struct {
 	kvCapToks     int     // per-GPU KV capacity in tokens
 	weightsPerGPU float64
 	scale         float64 // tensor-parallel degree: per-GPU → group energy
+	idleWatts     float64 // device idle draw (spec copy is too hot for PowerAt)
+	tdpWatts      float64 // device TDP (the capped() check runs per iteration)
 
-	waiting []*Seq
+	waiting seqDeque
 	running []*Seq
 	kvToks  int // reserved KV across running sequences, in tokens
 
@@ -189,6 +218,32 @@ type Replica struct {
 	iterBaseSec  float64
 	iterBaseJ    float64
 
+	// Coalesced decode span: on stable pure-decode stretches the replica
+	// plans up to maxSpanSegs iterations ahead and schedules one engine
+	// event at the span's end instead of one per iteration. span aliases
+	// segBuf's prefix; spanFormed/spanLaunched/spanSettled track how many
+	// leading segments have had their formation/launch/finish effects
+	// applied (seg 0's formation is real — formBatch ran before the span
+	// was planned). spanCursor is a monotonic read cursor for the
+	// non-destructive observers (PowerAt, KVFrac).
+	span         []spanSeg
+	segBuf       []spanSeg
+	spanTimer    sim.Timer
+	spanSeqs     int // batch size the span was planned with
+	spanFormed   int
+	spanLaunched int
+	spanCursor   int
+	coalesce     bool
+
+	// Cached handlers and scratch, so the steady state allocates nothing:
+	// method values passed to AfterCancelable would otherwise allocate a
+	// closure per iteration, and Run would allocate Segments per call.
+	finishFn  sim.Handler
+	spanEndFn sim.Handler
+	baseExec  gpu.Exec // scratch for the uncapped counterfactual
+	seqFree   []*Seq
+	trFree    []*seqTrace
+
 	stats  Stats
 	lastHW float64 // last traced high-water fraction
 
@@ -199,7 +254,8 @@ type Replica struct {
 	kvGauge    *obs.Gauge
 
 	// Lifecycle callbacks, all optional. They fire inside engine event
-	// handlers, so they must not block.
+	// handlers, so they must not block. The *Seq argument is only valid
+	// during the callback — the replica recycles retired sequences.
 	OnFirstToken func(s *Seq, now sim.Time)
 	OnComplete   func(s *Seq, now sim.Time)
 	OnDrop       func(s *Seq, now sim.Time, reason string)
@@ -219,6 +275,8 @@ func NewReplica(eng *sim.Engine, cfg Config, dev *gpu.Device, idx int, pool int8
 		kvCapToks:     int(cfg.kvCapacityBytes(dev.Spec()) / kvPerTok),
 		weightsPerGPU: cfg.Model.WeightBytes(cfg.DType) / float64(cfg.TensorParallel),
 		scale:         float64(cfg.TensorParallel),
+		idleWatts:     dev.Spec().IdleWatts,
+		tdpWatts:      dev.Spec().TDPWatts,
 	}
 	o := eng.Observer()
 	r.tracer = o.Trace()
@@ -226,33 +284,65 @@ func NewReplica(eng *sim.Engine, cfg Config, dev *gpu.Device, idx int, pool int8
 	r.batchCtr = o.Counter("serve_batches_total")
 	r.preemptCtr = o.Counter("serve_preemptions_total")
 	r.kvGauge = o.Gauge("serve_kv_highwater_frac")
+	// Coalescing is exact, but the tracer and span sink observe individual
+	// iterations, so their presence forces the per-stride path.
+	r.coalesce = !cfg.NoCoalesce && r.tracer == nil && r.spans == nil
+	r.finishFn = r.finishIteration
+	r.spanEndFn = r.spanEnd
 	return r, nil
 }
 
 // Config returns the replica's resolved configuration.
 func (r *Replica) Config() Config { return r.cfg }
 
-// Stats returns a snapshot of the scheduler counters.
-func (r *Replica) Stats() Stats { return r.stats }
+// Stats returns a snapshot of the scheduler counters. Reading the counters
+// settles any in-flight coalesced span first (settlement at any instant
+// leaves the future trajectory unchanged), so the snapshot is exactly what
+// the per-stride scheduler would report at this moment.
+func (r *Replica) Stats() Stats {
+	r.breakSpan(r.eng.Now())
+	return r.stats
+}
 
 // QueueLen returns the waiting-queue depth.
-func (r *Replica) QueueLen() int { return len(r.waiting) }
+func (r *Replica) QueueLen() int { return r.waiting.Len() }
 
 // Load returns waiting plus running sequences — the router's least-queue
 // signal.
-func (r *Replica) Load() int { return len(r.waiting) + len(r.running) }
+func (r *Replica) Load() int { return r.waiting.Len() + len(r.running) }
 
 // Running returns the running-batch size.
 func (r *Replica) Running() int { return len(r.running) }
 
 // KVFrac returns the reserved KV cache as a fraction of capacity.
 func (r *Replica) KVFrac() float64 {
-	return float64(r.kvToks) / float64(r.kvCapToks)
+	return float64(r.currentKVToks()) / float64(r.kvCapToks)
 }
 
 // KVReservedBytes returns the reserved KV bytes per GPU.
 func (r *Replica) KVReservedBytes() float64 {
-	return float64(r.kvToks) * float64(r.kvPerTok)
+	return float64(r.currentKVToks()) * float64(r.kvPerTok)
+}
+
+// currentKVToks returns the reservation ledger as the per-stride scheduler
+// would see it now: inside a coalesced span the planned segments' deferred
+// reservations are folded in without settling them.
+func (r *Replica) currentKVToks() int {
+	if len(r.span) == 0 {
+		return r.kvToks
+	}
+	return r.currentSeg(r.eng.Now()).kvAfter
+}
+
+// currentSeg returns the span segment covering now. A segment remains
+// current until strictly after its end, matching event ordering at exact
+// boundaries (a telemetry tick scheduled before the iteration fires first
+// and still observes it in flight).
+func (r *Replica) currentSeg(now sim.Time) *spanSeg {
+	for r.spanCursor < len(r.span)-1 && r.span[r.spanCursor].end < now {
+		r.spanCursor++
+	}
+	return &r.span[r.spanCursor]
 }
 
 // KVCapacityTokens returns the replica's KV capacity in tokens.
@@ -260,36 +350,81 @@ func (r *Replica) KVCapacityTokens() int { return r.kvCapToks }
 
 // Idle reports whether the replica has no work at all.
 func (r *Replica) Idle() bool {
-	return !r.iterActive && len(r.running) == 0 && len(r.waiting) == 0
+	return !r.iterActive && len(r.span) == 0 && len(r.running) == 0 && r.waiting.Len() == 0
 }
 
 // Sequences calls fn for every sequence the replica holds (running first,
-// then waiting); property tests use it to check KV invariants.
+// then waiting); property tests use it to check KV invariants. Like Stats,
+// it settles any in-flight span first so per-sequence counters are exact.
 func (r *Replica) Sequences(fn func(s *Seq)) {
+	r.breakSpan(r.eng.Now())
 	for _, s := range r.running {
 		fn(s)
 	}
-	for _, s := range r.waiting {
-		fn(s)
+	for i := 0; i < r.waiting.Len(); i++ {
+		fn(r.waiting.At(i))
 	}
+}
+
+// newSeq builds a sequence for an accepted request, recycling a retired one
+// when the free list has it.
+func (r *Replica) newSeq(now sim.Time, req workload.Request) *Seq {
+	var s *Seq
+	if n := len(r.seqFree); n > 0 {
+		s = r.seqFree[n-1]
+		r.seqFree[n-1] = nil
+		r.seqFree = r.seqFree[:n-1]
+		*s = Seq{}
+	} else {
+		s = &Seq{}
+	}
+	s.Req = req
+	s.Enqueued = now
+	s.prefillTarget = req.Input
+	s.firstTokenAt = -1
+	s.lastTokenAt = -1
+	if s.prefillTarget < 1 {
+		s.prefillTarget = 1
+	}
+	if r.spans != nil {
+		s.tr = r.newSeqTrace(now)
+	}
+	return s
+}
+
+// recycleSeq returns a retired sequence to the free list. Callers must have
+// emitted its root span and fired its callback first.
+func (r *Replica) recycleSeq(s *Seq) {
+	r.seqFree = append(r.seqFree, s)
+}
+
+func (r *Replica) newSeqTrace(now sim.Time) *seqTrace {
+	var t *seqTrace
+	if n := len(r.trFree); n > 0 {
+		t = r.trFree[n-1]
+		r.trFree[n-1] = nil
+		r.trFree = r.trFree[:n-1]
+	} else {
+		t = &seqTrace{}
+	}
+	*t = seqTrace{next: 2, queueStart: now, queueOpen: true}
+	return t
 }
 
 // Enqueue accepts a request into the waiting queue, kicking the iteration
 // loop if the replica was idle. It returns false when the queue is at
 // capacity (the caller sheds the request).
 func (r *Replica) Enqueue(now sim.Time, req workload.Request) bool {
-	if len(r.waiting) >= r.cfg.QueueCap {
+	if r.waiting.Len() >= r.cfg.QueueCap {
 		r.stats.Dropped++
 		return false
 	}
-	s := &Seq{Req: req, Enqueued: now, prefillTarget: req.Input, firstTokenAt: -1, lastTokenAt: -1}
-	if s.prefillTarget < 1 {
-		s.prefillTarget = 1
-	}
-	if r.spans != nil {
-		s.tr = &seqTrace{next: 2, queueStart: now, queueOpen: true}
-	}
-	r.waiting = append(r.waiting, s)
+	// An arrival invalidates the planned decode span: settle it and fall
+	// back to the materialized in-flight iteration, exactly as the
+	// per-stride scheduler stands at this instant.
+	r.breakSpan(now)
+	s := r.newSeq(now, req)
+	r.waiting.PushBack(s)
 	if !r.iterActive {
 		r.startIteration(now)
 	}
@@ -302,6 +437,7 @@ func (r *Replica) Enqueue(now sim.Time, req workload.Request) bool {
 // energy is settled and attributed first, so per-request attribution stays
 // conserved across node deaths.
 func (r *Replica) Fail(now sim.Time) {
+	r.breakSpan(now)
 	if r.iterActive {
 		r.iterTimer.Stop()
 		r.iterActive = false
@@ -326,25 +462,35 @@ func (r *Replica) Fail(now sim.Time) {
 		if r.OnDrop != nil {
 			r.OnDrop(s, now, "node-death")
 		}
+		r.recycleSeq(s)
 	}
-	for _, s := range r.waiting {
+	for i := 0; i < r.waiting.Len(); i++ {
+		s := r.waiting.At(i)
 		r.closeQueueSpan(s, now)
 		r.emitRootSpan(s, now, "node-death")
 		r.stats.Dropped++
 		if r.OnDrop != nil {
 			r.OnDrop(s, now, "node-death")
 		}
+		r.recycleSeq(s)
 	}
-	r.running = nil
-	r.waiting = nil
+	for i := range r.running {
+		r.running[i] = nil
+	}
+	r.running = r.running[:0]
+	r.waiting.Clear()
 }
 
 // PowerAt returns the replica's current per-GPU power draw.
 func (r *Replica) PowerAt(now sim.Time) float64 {
-	if !r.iterActive {
-		return r.dev.Spec().IdleWatts
+	if r.iterActive {
+		return r.iterExec.PowerAt(now - r.iterStart)
 	}
-	return r.iterExec.PowerAt(now - r.iterStart)
+	if len(r.span) > 0 {
+		seg := r.currentSeg(now)
+		return seg.exec.PowerAt(now - seg.start)
+	}
+	return r.idleWatts
 }
 
 // Replan re-times the in-flight iteration under the device's current
@@ -353,6 +499,9 @@ func (r *Replica) PowerAt(now sim.Time) float64 {
 // outcome (which tokens it advances) is fixed at formation; only its
 // remaining duration and power change.
 func (r *Replica) Replan(now sim.Time) {
+	// A cap change invalidates every planned segment: settle the span and
+	// replan the materialized current iteration.
+	r.breakSpan(now)
 	if !r.iterActive {
 		return
 	}
@@ -370,9 +519,9 @@ func (r *Replica) Replan(now sim.Time) {
 	r.iterTimer.Stop()
 	r.iterBankedJ += r.iterExec.EnergyUpTo(elapsed)
 	r.iterPhase = r.iterPhase.Scale(1 - frac)
-	r.iterExec = r.dev.Run(r.iterPhase)
+	r.dev.RunInto(r.iterPhase, &r.iterExec)
 	r.iterStart = now
-	r.iterTimer = r.eng.AfterCancelable(r.iterExec.Duration, r.finishIteration)
+	r.iterTimer = r.eng.AfterCancelable(r.iterExec.Duration, r.finishFn)
 }
 
 // startIteration forms and launches the next iteration, or parks the
@@ -389,6 +538,10 @@ func (r *Replica) startIteration(now sim.Time) {
 					continue
 				}
 			}
+			return
+		}
+		if promptToks == 0 && r.coalesce && r.waiting.Len() == 0 {
+			r.runSpan(now, decodeSeqs, stride)
 			return
 		}
 		r.runIteration(now, promptToks, decodeSeqs, stride)
@@ -417,7 +570,7 @@ func (r *Replica) formBatch(now sim.Time) (promptToks, decodeSeqs, stride int) {
 	// with nothing waiting, and never past a completion boundary or the KV
 	// capacity.
 	stride = 1
-	if decodeSeqs > 0 && !prefillPending && len(r.waiting) == 0 && r.cfg.DecodeStride > 1 {
+	if decodeSeqs > 0 && !prefillPending && r.waiting.Len() == 0 && r.cfg.DecodeStride > 1 {
 		stride = r.cfg.DecodeStride
 		if stride > minRemaining {
 			stride = minRemaining
@@ -447,13 +600,13 @@ func (r *Replica) formBatch(now sim.Time) (promptToks, decodeSeqs, stride int) {
 	for _, s := range r.running {
 		projected += s.prefillTarget - s.prefilled
 	}
-	for len(r.waiting) > 0 && len(r.running) < r.cfg.MaxBatchSize {
-		cand := r.waiting[0]
+	for r.waiting.Len() > 0 && len(r.running) < r.cfg.MaxBatchSize {
+		cand := r.waiting.At(0)
 		if projected+cand.prefillTarget > r.kvCapToks {
 			break
 		}
 		projected += cand.prefillTarget
-		r.waiting = r.waiting[1:]
+		r.waiting.PopFront()
 		r.running = append(r.running, cand)
 		r.closeQueueSpan(cand, now)
 	}
@@ -545,9 +698,7 @@ func (r *Replica) preemptNewest(now sim.Time) bool {
 			s.prefillTarget = 1
 		}
 		r.running = append(r.running[:i], r.running[i+1:]...)
-		r.waiting = append(r.waiting, nil)
-		copy(r.waiting[1:], r.waiting)
-		r.waiting[0] = s
+		r.waiting.PushFront(s)
 		r.stats.Preemptions++
 		r.preemptCtr.Inc()
 		if r.tracer != nil {
@@ -574,7 +725,7 @@ func (r *Replica) preemptNewest(now sim.Time) bool {
 // noteHighWater traces a new KV occupancy high water, quantized to 5% of
 // capacity so the event stream stays bounded.
 func (r *Replica) noteHighWater(now sim.Time) {
-	frac := r.KVFrac()
+	frac := float64(r.kvToks) / float64(r.kvCapToks)
 	if frac > r.stats.KVHighWaterFrac {
 		r.stats.KVHighWaterFrac = frac
 	}
@@ -592,82 +743,113 @@ func (r *Replica) noteHighWater(now sim.Time) {
 	}
 }
 
+// synthDecodePhase synthesizes a pure-decode iteration of the running batch
+// into one GPU phase: stride passes through the model, each decoding one
+// token per sequence against its current KV length. Shared by the direct
+// per-stride path and the span planner, so both time the identical phase.
+func (r *Replica) synthDecodePhase(stride, decodeSeqs int) gpu.Phase {
+	m, dt := r.cfg.Model, r.cfg.DType
+	tp := float64(r.cfg.TensorParallel)
+
+	var dFLOPs, bytes float64
+	for _, s := range r.running {
+		dFLOPs += m.DecodeSpanFLOPs(stride, s.kvTokens)
+		bytes += m.DecodeSpanBytes(dt, stride, s.kvTokens)
+	}
+	bytes += m.WeightBytes(dt) * dt.MemAmplification() * float64(stride)
+
+	tensorFrac := 0.9
+	if dFLOPs > 0 {
+		tensorFrac = (0.90 * dFLOPs) / dFLOPs
+	}
+	return gpu.Phase{
+		Name:            "decode",
+		DType:           dt,
+		FLOPs:           dFLOPs / tp,
+		MemBytes:        bytes / tp,
+		TensorFrac:      tensorFrac,
+		Efficiency:      0, // decode GEMMs: the slot model's token-phase default
+		CommSeconds:     float64(stride) * plan.AllReduceSeconds(m, dt, r.cfg.TensorParallel, decodeSeqs, r.cfg.NVLinkGBps),
+		OverheadSeconds: float64(stride) * plan.PassOverheadSeconds(m),
+	}
+}
+
+// capped reports whether any management knob throttles the device, in which
+// case settlement needs the DVFS-uncapped counterfactual baseline.
+func (r *Replica) capped() bool {
+	return r.dev.LockedClock() != 0 || r.dev.Brake() || r.dev.PowerCap() < r.tdpWatts
+}
+
 // runIteration synthesizes the planned batch into one GPU phase and runs
 // it on the device, which applies clock locks, power caps, and the brake
 // exactly as it does for slot-model phases.
 func (r *Replica) runIteration(now sim.Time, promptToks, decodeSeqs, stride int) {
-	m, dt := r.cfg.Model, r.cfg.DType
-	tp := float64(r.cfg.TensorParallel)
-
-	// A mixed or prefill iteration is one pass through the model; a
-	// multi-step decode iteration is stride passes, each streaming the
-	// weights once.
-	passes, tokensPerPass := 1, promptToks+decodeSeqs
+	var phase gpu.Phase
 	if promptToks == 0 {
-		passes, tokensPerPass = stride, decodeSeqs
-	}
+		// A multi-step decode iteration is stride passes, each streaming
+		// the weights once.
+		phase = r.synthDecodePhase(stride, decodeSeqs)
+	} else {
+		// A mixed or prefill iteration is one pass through the model.
+		m, dt := r.cfg.Model, r.cfg.DType
+		tp := float64(r.cfg.TensorParallel)
+		tokensPerPass := promptToks + decodeSeqs
 
-	var pFLOPs, dFLOPs, bytes float64
-	for _, s := range r.running {
-		if s.chunk > 0 {
-			pFLOPs += m.PrefillChunkFLOPs(s.chunk, s.kvTokens)
-			bytes += m.PrefillChunkBytes(dt, s.chunk, s.kvTokens)
+		var pFLOPs, dFLOPs, bytes float64
+		for _, s := range r.running {
+			if s.chunk > 0 {
+				pFLOPs += m.PrefillChunkFLOPs(s.chunk, s.kvTokens)
+				bytes += m.PrefillChunkBytes(dt, s.chunk, s.kvTokens)
+			}
+			if s.steps > 0 {
+				dFLOPs += m.DecodeSpanFLOPs(s.steps, s.kvTokens)
+				bytes += m.DecodeSpanBytes(dt, s.steps, s.kvTokens)
+			}
 		}
-		if s.steps > 0 {
-			dFLOPs += m.DecodeSpanFLOPs(s.steps, s.kvTokens)
-			bytes += m.DecodeSpanBytes(dt, s.steps, s.kvTokens)
+		flops := pFLOPs + dFLOPs
+		bytes += m.WeightBytes(dt) * dt.MemAmplification()
+
+		// The power split interpolates between the compute-bound prompt
+		// spike and the memory-bound decode plateau by each side's share of
+		// the math.
+		tensorFrac := 0.9
+		if flops > 0 {
+			tensorFrac = (0.97*pFLOPs + 0.90*dFLOPs) / flops
 		}
-	}
-	flops := pFLOPs + dFLOPs
-	bytes += m.WeightBytes(dt) * dt.MemAmplification() * float64(passes)
-
-	// The power split interpolates between the compute-bound prompt spike
-	// and the memory-bound decode plateau by each side's share of the math.
-	tensorFrac := 0.9
-	if flops > 0 {
-		tensorFrac = (0.97*pFLOPs + 0.90*dFLOPs) / flops
-	}
-	name := "decode"
-	efficiency := 0.0 // decode GEMMs: the slot model's token-phase default
-	switch {
-	case promptToks > 0 && decodeSeqs > 0:
-		name = "mixed"
-		efficiency = plan.BatchEfficiency(tokensPerPass)
-	case promptToks > 0:
-		name = "prefill"
-		efficiency = plan.BatchEfficiency(tokensPerPass)
-	}
-
-	phase := gpu.Phase{
-		Name:            name,
-		DType:           dt,
-		FLOPs:           flops / tp,
-		MemBytes:        bytes / tp,
-		TensorFrac:      tensorFrac,
-		Efficiency:      efficiency,
-		CommSeconds:     float64(passes) * plan.AllReduceSeconds(m, dt, r.cfg.TensorParallel, tokensPerPass, r.cfg.NVLinkGBps),
-		OverheadSeconds: float64(passes) * plan.PassOverheadSeconds(m),
+		name := "mixed"
+		if decodeSeqs == 0 {
+			name = "prefill"
+		}
+		phase = gpu.Phase{
+			Name:            name,
+			DType:           dt,
+			FLOPs:           flops / tp,
+			MemBytes:        bytes / tp,
+			TensorFrac:      tensorFrac,
+			Efficiency:      plan.BatchEfficiency(tokensPerPass),
+			CommSeconds:     plan.AllReduceSeconds(m, dt, r.cfg.TensorParallel, tokensPerPass, r.cfg.NVLinkGBps),
+			OverheadSeconds: plan.PassOverheadSeconds(m),
+		}
 	}
 	r.dev.SetMemUsedGB((r.weightsPerGPU + r.KVReservedBytes()) / 1e9)
-	exec := r.dev.Run(phase)
+	r.dev.RunInto(phase, &r.iterExec)
 	r.iterActive = true
 	r.iterPhase = phase
-	r.iterExec = exec
 	r.iterStart = now
 	r.iterFormedAt = now
 	r.iterBankedJ = 0
 	// Cap-slowdown attribution baseline: when any knob throttles the device
 	// at formation, also time the iteration's uncapped counterfactual.
 	// Energy settles against it when the iteration finishes.
-	if r.dev.LockedClock() != 0 || r.dev.Brake() || r.dev.PowerCap() < r.dev.Spec().TDPWatts {
-		base := r.uncappedExec(phase)
-		r.iterBaseSec = base.Duration.Seconds()
-		r.iterBaseJ = base.Energy()
+	if r.capped() {
+		r.uncappedExecInto(phase, &r.baseExec)
+		r.iterBaseSec = r.baseExec.Duration.Seconds()
+		r.iterBaseJ = r.baseExec.Energy()
 	} else {
-		r.iterBaseSec = exec.Duration.Seconds()
-		r.iterBaseJ = exec.Energy()
+		r.iterBaseSec = r.iterExec.Duration.Seconds()
+		r.iterBaseJ = r.iterExec.Energy()
 	}
-	r.iterTimer = r.eng.AfterCancelable(exec.Duration, r.finishIteration)
+	r.iterTimer = r.eng.AfterCancelable(r.iterExec.Duration, r.finishFn)
 
 	r.stats.Batches++
 	r.stats.PromptTokens += int64(promptToks)
@@ -676,9 +858,221 @@ func (r *Replica) runIteration(now sim.Time, promptToks, decodeSeqs, stride int)
 	if r.tracer != nil {
 		r.tracer.Emit(obs.Event{
 			At: now, Kind: obs.KindBatchForm, Server: int32(r.idx), Pool: r.pool,
-			Value: float64(promptToks + decodeSeqs*stride), Reason: name,
+			Value: float64(promptToks + decodeSeqs*stride), Reason: phase.Name,
 		})
 	}
+}
+
+// runSpan plans a coalesced decode span: starting from the batch formBatch
+// just formed (segment 0, whose reservations are already real), it walks
+// the per-stride scheduler's future iterations — same batch, growing KV —
+// until a completion boundary, a KV-pressure crossing, or the planning
+// horizon, and schedules a single engine event at the span's end. Planning
+// runs the identical per-iteration arithmetic the per-stride path runs
+// (same formation formulas, same device executions), so settlement later
+// reproduces its results bit for bit. Arrivals, replans, and failures
+// break the span; the segments already in the past settle, the current one
+// materializes as a plain in-flight iteration, and the unreached tail is
+// discarded.
+func (r *Replica) runSpan(now sim.Time, decodeSeqs, stride int) {
+	minRem := 0
+	for _, s := range r.running {
+		rem := s.outputTarget() - s.decoded
+		if minRem == 0 || rem < minRem {
+			minRem = rem
+		}
+	}
+
+	capped := r.capped()
+	kv := r.kvToks // segment 0's reservations included
+	segStart := now
+	st := stride
+	rolled := 0
+	nseg := 0
+	for {
+		if nseg == len(r.segBuf) {
+			r.segBuf = append(r.segBuf, spanSeg{})
+		}
+		seg := &r.segBuf[nseg]
+		nseg++
+		seg.start = segStart
+		seg.stride = st
+		seg.kvAfter = kv
+		seg.phase = r.synthDecodePhase(st, decodeSeqs)
+		seg.memGB = (r.weightsPerGPU + float64(kv)*float64(r.kvPerTok)) / 1e9
+		r.dev.SetMemUsedGB(seg.memGB)
+		r.dev.RunInto(seg.phase, &seg.exec)
+		if capped {
+			r.uncappedExecInto(seg.phase, &r.baseExec)
+			seg.baseSec = r.baseExec.Duration.Seconds()
+			seg.baseJ = r.baseExec.Energy()
+		} else {
+			seg.baseSec = seg.exec.Duration.Seconds()
+			seg.baseJ = seg.exec.Energy()
+		}
+		seg.end = segStart + seg.exec.Duration
+
+		// Shadow-advance the per-sequence KV so the next segment's phase
+		// sees the grown context; rolled backs out the whole advance below
+		// (real growth happens at settlement).
+		for _, s := range r.running {
+			s.kvTokens += st
+		}
+		rolled += st
+		minRem -= st
+		if minRem == 0 || nseg >= maxSpanSegs {
+			// A sequence completes at this segment's end (or the horizon is
+			// reached): the span ends here and the real finishIteration
+			// handles whatever follows.
+			break
+		}
+		if kv+decodeSeqs > r.kvCapToks {
+			// The next formation would preempt under KV pressure — stop;
+			// the real formBatch after the span's end does it.
+			break
+		}
+		// The next segment's formation, exactly as formBatch computes it
+		// for a pure-decode batch with an empty waiting queue.
+		st = 1
+		if r.cfg.DecodeStride > 1 {
+			st = r.cfg.DecodeStride
+			if st > minRem {
+				st = minRem
+			}
+			if fit := (r.kvCapToks - kv) / decodeSeqs; st > fit {
+				st = fit
+			}
+			if st < 1 {
+				st = 1
+			}
+		}
+		kv += decodeSeqs * st
+		segStart = seg.end
+	}
+	for _, s := range r.running {
+		s.kvTokens -= rolled
+	}
+
+	r.span = r.segBuf[:nseg]
+	r.spanSeqs = decodeSeqs
+	r.spanFormed = 1 // segment 0's formation ran for real in formBatch
+	r.spanLaunched = 0
+	r.spanCursor = 0
+	last := &r.span[nseg-1]
+	r.spanTimer = r.eng.AfterCancelable(last.end-now, r.spanEndFn)
+}
+
+// settleSeg applies a fully elapsed span segment's deferred effects in
+// order: formation (reservations, high-water note), launch (batch
+// counters), and finish (energy settlement, token advances) — the exact
+// operations, in the exact order, the per-stride scheduler performed at the
+// segment's formation and finish instants.
+func (r *Replica) settleSeg(i int) {
+	seg := &r.span[i]
+	if i >= r.spanFormed {
+		for _, s := range r.running {
+			s.steps = seg.stride
+			r.reserveKV(s, seg.stride)
+		}
+		r.noteHighWater(seg.start)
+		r.spanFormed = i + 1
+	}
+	if i >= r.spanLaunched {
+		r.stats.Batches++
+		r.stats.DecodeTokens += int64(r.spanSeqs * seg.stride)
+		r.batchCtr.Inc()
+		r.spanLaunched = i + 1
+	}
+
+	iterJ := seg.exec.Energy()
+	r.stats.EnergyJ += iterJ
+	capSec := seg.exec.Duration.Seconds() - seg.baseSec
+	capJ := iterJ - seg.baseJ
+	r.stats.CapExtraSec += capSec
+	r.stats.CapDeltaJ += capJ
+	totalToks := r.spanSeqs * seg.stride
+	n := float64(totalToks)
+	perTokJ := iterJ * r.scale / n
+	perTokCapSec := capSec / n
+	perTokCapJ := capJ * r.scale / n
+	for _, s := range r.running {
+		toks := seg.stride
+		s.energyJ += perTokJ * float64(toks)
+		s.capSec += perTokCapSec * float64(toks)
+		s.capJ += perTokCapJ * float64(toks)
+		s.decoded += seg.stride
+		s.kvTokens += seg.stride
+		s.steps = 0
+		s.lastTokenAt = seg.end
+	}
+}
+
+// materializeSeg turns a span segment into the plain in-flight iteration:
+// deferred formation and launch effects are applied, and the iteration
+// state is exactly what runIteration would have produced at seg.start. The
+// segment's execution is swapped (not copied) into iterExec so both
+// Segments backings keep being reused.
+func (r *Replica) materializeSeg(i int, now sim.Time, withTimer bool) {
+	seg := &r.span[i]
+	if i >= r.spanFormed {
+		for _, s := range r.running {
+			s.steps = seg.stride
+			r.reserveKV(s, seg.stride)
+		}
+		r.noteHighWater(seg.start)
+		r.spanFormed = i + 1
+	}
+	if i >= r.spanLaunched {
+		r.stats.Batches++
+		r.stats.DecodeTokens += int64(r.spanSeqs * seg.stride)
+		r.batchCtr.Inc()
+		r.spanLaunched = i + 1
+	}
+	r.dev.SetMemUsedGB(seg.memGB)
+	r.iterActive = true
+	r.iterPhase = seg.phase
+	r.iterExec, seg.exec = seg.exec, r.iterExec
+	r.iterStart = seg.start
+	r.iterFormedAt = seg.start
+	r.iterBankedJ = 0
+	r.iterBaseSec = seg.baseSec
+	r.iterBaseJ = seg.baseJ
+	if withTimer {
+		r.iterTimer = r.eng.AfterCancelable(seg.end-now, r.finishFn)
+	}
+}
+
+// spanEnd fires at the last span segment's finish: every earlier segment
+// settles, the final one materializes, and the real finishIteration retires
+// completed sequences and chains into the next iteration (or span) at the
+// exact instant and state the per-stride scheduler would reach.
+func (r *Replica) spanEnd(now sim.Time) {
+	n := len(r.span)
+	for i := 0; i < n-1; i++ {
+		r.settleSeg(i)
+	}
+	r.materializeSeg(n-1, now, false)
+	r.span = nil
+	r.finishIteration(now)
+}
+
+// breakSpan interrupts an in-flight coalesced span at now: segments
+// strictly in the past settle, the segment covering now materializes as
+// the plain in-flight iteration (with its completion timer), and the
+// planned tail is discarded. A no-op when no span is active. Breaking is
+// trajectory-preserving: the replica's visible state and all future events
+// are identical whether or not the span had been planned.
+func (r *Replica) breakSpan(now sim.Time) {
+	if len(r.span) == 0 {
+		return
+	}
+	r.spanTimer.Stop()
+	i := 0
+	for ; i < len(r.span)-1 && r.span[i].end < now; i++ {
+		r.settleSeg(i)
+	}
+	r.materializeSeg(i, now, true)
+	r.span = nil
 }
 
 // uncappedExec times a phase with the device's clock lock, brake, and
@@ -686,15 +1080,21 @@ func (r *Replica) runIteration(now sim.Time, promptToks, decodeSeqs, stride int)
 // Device knobs are restored before returning, so the run is observably
 // pure.
 func (r *Replica) uncappedExec(phase gpu.Phase) gpu.Exec {
+	var e gpu.Exec
+	r.uncappedExecInto(phase, &e)
+	return e
+}
+
+// uncappedExecInto is uncappedExec into a caller-owned execution.
+func (r *Replica) uncappedExecInto(phase gpu.Phase, e *gpu.Exec) {
 	lock, brake, cap := r.dev.LockedClock(), r.dev.Brake(), r.dev.PowerCap()
 	r.dev.LockClock(0)
 	r.dev.SetBrake(false)
-	r.dev.SetPowerCap(r.dev.Spec().TDPWatts)
-	exec := r.dev.Run(phase)
+	r.dev.SetPowerCap(r.tdpWatts)
+	r.dev.RunInto(phase, e)
 	r.dev.LockClock(lock)
 	r.dev.SetBrake(brake)
 	r.dev.SetPowerCap(cap)
-	return exec
 }
 
 // finishIteration settles the iteration's energy (attributing it to the
@@ -765,6 +1165,7 @@ func (r *Replica) finishIteration(now sim.Time) {
 			if r.OnComplete != nil {
 				r.OnComplete(s, now)
 			}
+			r.recycleSeq(s)
 			continue
 		}
 		keep = append(keep, s)
@@ -860,11 +1261,12 @@ func (r *Replica) emitRootSpan(s *Seq, now sim.Time, reason string) {
 		TTFTSec: s.TTFTSeconds(),
 		Reason:  reason,
 	})
+	r.trFree = append(r.trFree, s.tr)
 	s.tr = nil
 }
 
 // String describes the replica's instantaneous state (for debugging).
 func (r *Replica) String() string {
 	return fmt.Sprintf("replica %d: %d running, %d waiting, KV %.0f%%",
-		r.idx, len(r.running), len(r.waiting), r.KVFrac()*100)
+		r.idx, len(r.running), r.waiting.Len(), r.KVFrac()*100)
 }

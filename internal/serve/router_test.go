@@ -9,7 +9,11 @@ import (
 // fakeReplica builds a bare replica with the given load and KV occupancy;
 // the routing policies read nothing else.
 func fakeReplica(load, kvToks, kvCap int) *Replica {
-	return &Replica{waiting: make([]*Seq, load), kvToks: kvToks, kvCapToks: kvCap}
+	r := &Replica{kvToks: kvToks, kvCapToks: kvCap}
+	for i := 0; i < load; i++ {
+		r.waiting.PushBack(&Seq{})
+	}
+	return r
 }
 
 func eps(reps ...*Replica) []Endpoint {

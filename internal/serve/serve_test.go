@@ -87,7 +87,9 @@ func TestZeroOutputRequestSamplesOneToken(t *testing.T) {
 	eng := sim.New(1)
 	rep := newReplica(t, eng, Config{Model: bloom(), DType: llm.FP16}, gpu.A100SXM80GB())
 	var done *Seq
-	rep.OnComplete = func(s *Seq, now sim.Time) { done = s }
+	// The *Seq is only valid during the callback (the replica recycles
+	// retired sequences), so retain a value copy.
+	rep.OnComplete = func(s *Seq, now sim.Time) { cp := *s; done = &cp }
 	rep.Enqueue(0, workload.Request{ID: 1, Input: 10, Output: 0})
 	eng.RunUntil(time.Hour)
 	if done == nil {
@@ -295,7 +297,8 @@ func TestKVPressureInvariants(t *testing.T) {
 			}
 			seen[s.Req.ID] = cur
 		})
-		for _, s := range rep.waiting {
+		for i := 0; i < rep.waiting.Len(); i++ {
+			s := rep.waiting.At(i)
 			if s.KVReserved() != 0 {
 				t.Fatalf("t=%v: waiting req %d holds %d KV tokens", now, s.Req.ID, s.KVReserved())
 			}

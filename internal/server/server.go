@@ -103,6 +103,14 @@ type Server struct {
 	Index int
 	spec  Spec
 	gpus  []*gpu.Device
+
+	// Power-model constants, folded once at construction: PowerFromGPUs is
+	// the telemetry hot path (every node, every sub-tick), and re-deriving
+	// these from the spec there re-walks the component table per sample.
+	gpuIdleW float64 // GPUIdleWatts()
+	gpuSpanW float64 // GPUProvisionedWatts() - GPUIdleWatts()
+	hostIdle float64 // HostIdleWatts()
+	hostPeak float64 // HostPeakWatts()
 }
 
 // New returns a server with freshly initialized devices.
@@ -114,6 +122,10 @@ func New(index int, spec Spec) *Server {
 	for i := 0; i < spec.GPUCount; i++ {
 		s.gpus = append(s.gpus, gpu.NewDevice(spec.GPU))
 	}
+	s.gpuIdleW = s.GPUIdleWatts()
+	s.gpuSpanW = spec.GPUProvisionedWatts() - s.gpuIdleW
+	s.hostIdle = spec.HostIdleWatts()
+	s.hostPeak = spec.HostPeakWatts()
 	return s
 }
 
@@ -132,11 +144,9 @@ func (s *Server) GPUIdleWatts() float64 {
 // (what IPMI would report): host components ramp between their idle and
 // peak draw with GPU load, dominated by fans tracking heat.
 func (s *Server) PowerFromGPUs(gpuWatts float64) float64 {
-	idle := s.GPUIdleWatts()
-	span := s.spec.GPUProvisionedWatts() - idle
 	load := 0.0
-	if span > 0 {
-		load = (gpuWatts - idle) / span
+	if s.gpuSpanW > 0 {
+		load = (gpuWatts - s.gpuIdleW) / s.gpuSpanW
 	}
 	if load < 0 {
 		load = 0
@@ -144,7 +154,7 @@ func (s *Server) PowerFromGPUs(gpuWatts float64) float64 {
 	if load > 1 {
 		load = 1
 	}
-	host := s.spec.HostIdleWatts() + load*(s.spec.HostPeakWatts()-s.spec.HostIdleWatts())
+	host := s.hostIdle + load*(s.hostPeak-s.hostIdle)
 	return gpuWatts + host
 }
 
