@@ -55,8 +55,12 @@ test:
 # 16-server day and needs its own -benchtime. BENCH_REQUIRE lists every
 # name; polca-bench -require fails the target if any stops matching, so a
 # renamed benchmark can never silently drop out of the smoke.
-BENCH_MICRO = ^(BenchmarkEngineEvents|BenchmarkQueuePushPop|BenchmarkTimerStop|BenchmarkTracerDisabled|BenchmarkTracerEnabled|BenchmarkServeTracerDisabled|BenchmarkSpanTracerDisabled|BenchmarkQuantileSketch|BenchmarkScheduler)$$
-BENCH_REQUIRE = BenchmarkEngineEvents,BenchmarkQueuePushPop,BenchmarkTimerStop,BenchmarkTracerDisabled,BenchmarkTracerEnabled,BenchmarkServeTracerDisabled,BenchmarkSpanTracerDisabled,BenchmarkQuantileSketch,BenchmarkScheduler,BenchmarkServeDay
+BENCH_MICRO = ^(BenchmarkEngineEvents|BenchmarkQueuePushPop|BenchmarkTimerStop|BenchmarkTracerDisabled|BenchmarkTracerEnabled|BenchmarkServeTracerDisabled|BenchmarkSpanTracerDisabled|BenchmarkQuantileSketch|BenchmarkScheduler|BenchmarkTSDBIngest|BenchmarkRuleEval)$$
+BENCH_REQUIRE = BenchmarkEngineEvents,BenchmarkQueuePushPop,BenchmarkTimerStop,BenchmarkTracerDisabled,BenchmarkTracerEnabled,BenchmarkServeTracerDisabled,BenchmarkSpanTracerDisabled,BenchmarkQuantileSketch,BenchmarkScheduler,BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkServeDay
+# The telemetry ingest and rule-evaluation ticks run inside the simulator's
+# hot loop; -zero-alloc hard-fails the build the moment either allocates,
+# with no baseline artifact needed.
+BENCH_ZERO_ALLOC = BenchmarkTSDBIngest,BenchmarkRuleEval
 BENCH_PKGS = . ./internal/serve ./internal/obs
 
 # bench-smoke runs the hot-path set briefly — enough to catch an allocation
@@ -69,7 +73,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem -benchtime 200000x $(BENCH_PKGS) > $$out; \
 	$(GO) test -run '^$$' -bench '^BenchmarkServeDay$$' -benchmem -benchtime 1x . >> $$out; \
 	cat $$out; \
-	$(GO) run ./cmd/polca-bench -require '$(BENCH_REQUIRE)' $$out; \
+	$(GO) run ./cmd/polca-bench -require '$(BENCH_REQUIRE)' -zero-alloc '$(BENCH_ZERO_ALLOC)' $$out; \
 	rm -f $$out
 
 # bench-json runs the hot-path set at full benchtime and writes the
@@ -84,7 +88,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem $(BENCH_PKGS) > $$out; \
 	$(GO) test -run '^$$' -bench '^BenchmarkServeDay$$' -benchmem -benchtime 3x . >> $$out; \
 	cat $$out; \
-	$(GO) run ./cmd/polca-bench -require '$(BENCH_REQUIRE)' $$out > /dev/null; \
+	$(GO) run ./cmd/polca-bench -require '$(BENCH_REQUIRE)' -zero-alloc '$(BENCH_ZERO_ALLOC)' $$out > /dev/null; \
 	$(GO) run ./cmd/polca-bench -o $(BENCH_JSON) $$out; \
 	rm -f $$out
 

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the -alerts mode: it reads the structured event JSONL that
+// `polca-sim -trace` writes, extracts the rules engine's alert.fire /
+// alert.resolve stream, reconstructs alert episodes offline, and renders
+// a per-alert summary plus the longest episodes. Because the rules engine
+// emits a resolve for every fire (end-of-run resolution included), the
+// offline reconstruction reconciles exactly with the simulator's own
+// alert summary — the cross-check the cluster tests pin down.
+
+// alertEvent is the subset of the event-JSONL schema the alert timeline
+// needs. Zero-valued fields are omitted on the wire.
+type alertEvent struct {
+	TUs    int64   `json:"t_us"`
+	Kind   string  `json:"kind"`
+	Value  float64 `json:"value"`
+	Reason string  `json:"reason"`
+	Label  string  `json:"label"`
+}
+
+// episode is one reconstructed fire→resolve window.
+type episode struct {
+	name       string
+	cond       string
+	start, end time.Duration
+	fireValue  float64
+}
+
+func (e episode) duration() time.Duration { return e.end - e.start }
+
+// alertAgg aggregates one rule's episodes.
+type alertAgg struct {
+	name    string
+	cond    string
+	fires   int
+	active  time.Duration
+	longest time.Duration
+}
+
+// AnalyzeAlerts reads event JSONL in one streaming pass and renders the
+// alert timeline report. Non-alert events are skipped, so the input can
+// be a full -trace dump.
+func AnalyzeAlerts(r io.Reader, top int) (string, error) {
+	var header []string
+	var episodes []episode
+	aggs := map[string]*alertAgg{}
+	var order []string
+	open := map[string]*episode{}
+	events := 0
+
+	agg := func(name, cond string) *alertAgg {
+		a := aggs[name]
+		if a == nil {
+			a = &alertAgg{name: name, cond: cond}
+			aggs[name] = a
+			order = append(order, name)
+		}
+		return a
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			header = append(header, text)
+			continue
+		}
+		var ev alertEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return "", fmt.Errorf("line %d: %w", line, err)
+		}
+		t := time.Duration(ev.TUs) * time.Microsecond
+		switch ev.Kind {
+		case "alert.fire":
+			events++
+			a := agg(ev.Label, ev.Reason)
+			a.fires++
+			if open[ev.Label] != nil {
+				return "", fmt.Errorf("line %d: alert %q fired twice without resolving", line, ev.Label)
+			}
+			open[ev.Label] = &episode{name: ev.Label, cond: ev.Reason, start: t, fireValue: ev.Value}
+		case "alert.resolve":
+			events++
+			e := open[ev.Label]
+			if e == nil {
+				return "", fmt.Errorf("line %d: alert %q resolved without firing", line, ev.Label)
+			}
+			delete(open, ev.Label)
+			e.end = t
+			episodes = append(episodes, *e)
+			a := agg(ev.Label, e.cond)
+			a.active += e.duration()
+			if e.duration() > a.longest {
+				a.longest = e.duration()
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if events == 0 {
+		return "", fmt.Errorf("no alert events in input (run polca-sim with -rules and -trace)")
+	}
+
+	var b strings.Builder
+	for _, h := range header {
+		fmt.Fprintln(&b, h)
+	}
+	if len(header) > 0 {
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "Alert timeline: %d events, %d episodes, %d rules\n\n", events, len(episodes), len(order))
+
+	fmt.Fprintf(&b, "%-18s %6s %12s %12s  %s\n", "alert", "fires", "active", "longest", "condition")
+	for _, name := range order {
+		a := aggs[name]
+		fmt.Fprintf(&b, "%-18s %6d %12s %12s  %s\n",
+			a.name, a.fires, fmtDur(a.active), fmtDur(a.longest), a.cond)
+	}
+	for name, e := range open {
+		fmt.Fprintf(&b, "%-18s still active since %s (no resolve in trace)\n", name, fmtDur(e.start))
+	}
+	fmt.Fprintln(&b)
+
+	if top > 0 && len(episodes) > 0 {
+		ranked := append([]episode(nil), episodes...)
+		sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].duration() > ranked[j].duration() })
+		if top > len(ranked) {
+			top = len(ranked)
+		}
+		fmt.Fprintf(&b, "Top %d longest episodes:\n", top)
+		fmt.Fprintf(&b, "%12s %12s %12s %-18s %10s\n", "fired", "resolved", "duration", "alert", "value")
+		for _, e := range ranked[:top] {
+			fmt.Fprintf(&b, "%12s %12s %12s %-18s %10.4g\n",
+				fmtDur(e.start), fmtDur(e.end), fmtDur(e.duration()), e.name, e.fireValue)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), nil
+}
+
+// fmtDur renders a simulated timestamp or duration compactly (seconds
+// rounded; days kept as hours like the rest of the tooling).
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Second).String()
+}

@@ -8,6 +8,14 @@
 // Usage:
 //
 //	polca-analyze [-top 10] spans.jsonl
+//	polca-analyze -alerts [-top 10] trace.jsonl
+//
+// With -alerts the input is instead the event trace written by `polca-sim
+// -trace`, and the report reconstructs the rules engine's alert episodes
+// offline: a per-alert summary (fires, total active time, longest episode)
+// and the top-K longest episodes. The offline reconstruction reconciles
+// exactly with the simulator's own alert summary because every fire is
+// paired with a resolve, including end-of-run resolution.
 //
 // The input's `#` provenance header is echoed so reports stay
 // self-describing. All percentiles here are exact (computed over every
@@ -37,11 +45,12 @@ func cli(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("polca-analyze", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	top := fs.Int("top", 10, "rows in the top-K slowest/most-expensive tables")
+	alerts := fs.Bool("alerts", false, "analyze an event trace's alert.fire/alert.resolve stream instead of spans")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(errw, "usage: polca-analyze [-top N] spans.jsonl")
+		fmt.Fprintln(errw, "usage: polca-analyze [-alerts] [-top N] trace.jsonl")
 		return 2
 	}
 	f, err := os.Open(fs.Arg(0))
@@ -50,7 +59,11 @@ func cli(args []string, out, errw io.Writer) int {
 		return 1
 	}
 	defer f.Close()
-	report, err := Analyze(f, *top)
+	analyze := Analyze
+	if *alerts {
+		analyze = AnalyzeAlerts
+	}
+	report, err := analyze(f, *top)
 	if err != nil {
 		fmt.Fprintln(errw, "error:", err)
 		return 1

@@ -23,6 +23,13 @@
 //	polca-bench -require Name1,Name2 [bench-output.txt]
 //	    Fail unless every named benchmark appears in the output; guards
 //	    `make bench-smoke` against patterns that silently match nothing.
+//
+//	polca-bench -zero-alloc Name1,Name2 [bench-output.txt]
+//	    Fail unless every named benchmark reports exactly 0 allocs/op.
+//	    Guards hot paths with an allocation-free contract (the telemetry
+//	    TSDB ingest, the rules evaluation tick) — unlike -compare this
+//	    needs no baseline artifact, so a first regression cannot slip in
+//	    alongside a refreshed snapshot. Composable with -require.
 package main
 
 import (
@@ -77,6 +84,7 @@ func cli(args []string, out, errw io.Writer) int {
 	compare := fs.Bool("compare", false, "compare two artifacts: OLD.json NEW.json")
 	check := fs.Bool("check", false, "validate artifact files against the schema")
 	require := fs.String("require", "", "comma-separated benchmark names that must appear in the input")
+	zeroAlloc := fs.String("zero-alloc", "", "comma-separated benchmark names that must report 0 allocs/op")
 	threshold := fs.Float64("threshold", 0.15, "relative ns/op regression that fails -compare")
 	advisoryTime := fs.Bool("advisory-time", false, "demote ns/op regressions to warnings (allocs/op still fail)")
 	if err := fs.Parse(args); err != nil {
@@ -116,12 +124,22 @@ func cli(args []string, out, errw io.Writer) int {
 			fmt.Fprintf(errw, "polca-bench: %s: %v\n", name, err)
 			return 1
 		}
+		if *zeroAlloc != "" {
+			if err := requireZeroAllocs(art, *zeroAlloc); err != nil {
+				fmt.Fprintln(errw, "polca-bench:", err)
+				return 1
+			}
+		}
 		if *require != "" {
 			if err := requireNames(art, *require); err != nil {
 				fmt.Fprintln(errw, "polca-bench:", err)
 				return 1
 			}
 			fmt.Fprintf(out, "all required benchmarks present (%d results)\n", len(art.Benchmarks))
+			return 0
+		}
+		if *zeroAlloc != "" {
+			fmt.Fprintf(out, "zero-alloc contract holds for: %s\n", *zeroAlloc)
 			return 0
 		}
 		if len(art.Benchmarks) == 0 {
@@ -359,6 +377,31 @@ func requireNames(art *Artifact, list string) error {
 	}
 	if len(missing) > 0 {
 		return fmt.Errorf("benchmarks matched nothing: %s (pattern drift in the Makefile?)", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// requireZeroAllocs fails if any named benchmark is missing or reports a
+// nonzero allocs/op — the allocation-free contract for hot paths, enforced
+// without needing a committed baseline.
+func requireZeroAllocs(art *Artifact, list string) error {
+	byName := map[string]Benchmark{}
+	for _, b := range art.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("zero-alloc benchmark %s missing from input", name)
+		}
+		if b.AllocsPerOp != 0 {
+			return fmt.Errorf("%s allocates %.0f allocs/op (%.0f B/op); this path must be allocation-free",
+				name, b.AllocsPerOp, b.BPerOp)
+		}
 	}
 	return nil
 }

@@ -211,3 +211,41 @@ func TestRequire(t *testing.T) {
 		t.Errorf("stderr: %s", errw.String())
 	}
 }
+
+func TestZeroAlloc(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	// BenchmarkEngine and BenchmarkScheduler both report 0 allocs/op.
+	if code := cli([]string{"-zero-alloc", "BenchmarkEngine, BenchmarkScheduler", in}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "zero-alloc contract holds") {
+		t.Errorf("stdout: %s", out.String())
+	}
+	// BenchmarkServeDay allocates; the gate must hard-fail with the name and
+	// the measured allocs/op in the message.
+	errw.Reset()
+	if code := cli([]string{"-zero-alloc", "BenchmarkServeDay", in}, &out, &errw); code != 1 {
+		t.Fatal("allocating benchmark should fail -zero-alloc")
+	}
+	if !strings.Contains(errw.String(), "BenchmarkServeDay") || !strings.Contains(errw.String(), "allocates") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+	// A name absent from the input is an error, not a silent pass.
+	errw.Reset()
+	if code := cli([]string{"-zero-alloc", "BenchmarkGhost", in}, &out, &errw); code != 1 {
+		t.Fatal("missing benchmark should fail -zero-alloc")
+	}
+	if !strings.Contains(errw.String(), "missing from input") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+	// Composes with -require: both gates must pass.
+	errw.Reset()
+	if code := cli([]string{"-require", "BenchmarkEngine", "-zero-alloc", "BenchmarkEngine", in}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+}

@@ -51,6 +51,17 @@
 // per-request Perfetto tracks. Tracing never changes results; with it off
 // the instrumentation costs one nil check per site. All trace flags take
 // per-policy suffixes like -csv.
+//
+// Sim-time telemetry: -tsdb records every row signal (server/row/site
+// power, breaker headroom, cap MHz, KV occupancy, queue depth, TTFT/TBT)
+// into a fixed-memory multi-resolution TSDB — bounded telemetry no matter
+// how many days are simulated — reported in a Telemetry section, exposed
+// on /metrics, and exportable as Perfetto counter tracks with
+// -tsdb-perfetto. -rules loads an alert/recording ruleset ("default" for
+// the committed one) evaluated in sim time on every telemetry tick;
+// alerts emit alert.fire/alert.resolve trace events and a per-alert
+// summary table (polca-analyze -alerts rebuilds the timeline from the
+// event trace). -rules implies -tsdb.
 package main
 
 import (
@@ -92,6 +103,8 @@ type runOpts struct {
 	perfettoPath      string
 	spansPath         string
 	spansPerfettoPath string
+	tsdbPerfettoPath  string
+	rulesName         string // "" = no rules; "default" or a file path
 	obs               *obs.Observer
 }
 
@@ -122,6 +135,9 @@ func main() {
 	spansPath := flag.String("spans", "", "write per-request span trees with energy attribution (serve mode) to this JSONL file, for polca-analyze")
 	spansPerfetto := flag.String("spans-perfetto", "", "write per-request spans as Chrome trace-event JSON on per-request tracks")
 	httpAddr := flag.String("http", "", "serve live /metrics, /progress, and /debug/pprof on this address (e.g. :6060)")
+	tsdbFlag := flag.Bool("tsdb", false, "record bounded sim-time telemetry (multi-resolution TSDB with server→row→site rollups)")
+	rulesFlag := flag.String("rules", "", "evaluate alert/recording rules each telemetry tick: \"default\" for the built-in ruleset, or a rules file path (implies -tsdb)")
+	tsdbPerfetto := flag.String("tsdb-perfetto", "", "write the TSDB as Chrome trace-event counter tracks (implies -tsdb)")
 	flag.Parse()
 
 	cfg := cluster.Production()
@@ -172,14 +188,59 @@ func main() {
 		workers = len(policies)
 	}
 
+	// Parse the ruleset once; every policy run gets a private engine bound
+	// to its own TSDB so alert state never crosses runs.
+	var ruleSet *obs.RuleSet
+	if *rulesFlag != "" {
+		src := obs.DefaultRules
+		if *rulesFlag != "default" {
+			b, err := os.ReadFile(*rulesFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rules:", err)
+				os.Exit(1)
+			}
+			src = string(b)
+		}
+		var err error
+		ruleSet, err = obs.ParseRules(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rules:", err)
+			os.Exit(1)
+		}
+	}
+	useTSDB := *tsdbFlag || ruleSet != nil || *tsdbPerfetto != ""
+
 	// One shared metrics registry for every policy run (scoped by a policy
-	// label); tracers are per run so event streams don't interleave.
+	// label); tracers and TSDBs are per run so event streams and alert
+	// state don't interleave.
 	var registry *obs.Registry
 	if *httpAddr != "" || *tracePath != "" || *perfettoPath != "" || *spansPath != "" || *spansPerfetto != "" {
 		registry = obs.NewRegistry()
 	}
+	observers := make([]*obs.Observer, len(policies))
+	var tsdbHandles []obs.TSDBHandle
+	for i, p := range policies {
+		if registry == nil && !useTSDB {
+			continue
+		}
+		observer := &obs.Observer{Metrics: registry, Labels: obs.Label("policy", p)}
+		if *tracePath != "" || *perfettoPath != "" {
+			observer.Tracer = obs.NewTracer()
+		}
+		if *spansPath != "" || *spansPerfetto != "" {
+			observer.Spans = obs.NewSpanTracer()
+		}
+		if useTSDB {
+			observer.DB = obs.NewTSDB(obs.TSDBConfig{Step: cfg.TelemetryInterval})
+			if ruleSet != nil {
+				observer.Rules = obs.NewRules(observer.DB, ruleSet, observer.Tracer)
+			}
+			tsdbHandles = append(tsdbHandles, obs.TSDBHandle{DB: observer.DB, Labels: observer.Labels})
+		}
+		observers[i] = observer
+	}
 	if *httpAddr != "" {
-		addr, err := obs.Serve(*httpAddr, registry, nil)
+		addr, err := obs.Serve(*httpAddr, registry, nil, tsdbHandles...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "http:", err)
 			os.Exit(1)
@@ -192,16 +253,6 @@ func main() {
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, p := range policies {
-		var observer *obs.Observer
-		if registry != nil {
-			observer = &obs.Observer{Metrics: registry, Labels: obs.Label("policy", p)}
-			if *tracePath != "" || *perfettoPath != "" {
-				observer.Tracer = obs.NewTracer()
-			}
-			if *spansPath != "" || *spansPerfetto != "" {
-				observer.Spans = obs.NewSpanTracer()
-			}
-		}
 		opts := runOpts{
 			policy: p, cfg: cfg, days: *days, seed: *seed,
 			t1: *t1, t2: *t2, guard: *guard, faults: spec.String(),
@@ -211,7 +262,9 @@ func main() {
 			perfettoPath:      policyCSVPath(*perfettoPath, p, len(policies) > 1),
 			spansPath:         policyCSVPath(*spansPath, p, len(policies) > 1),
 			spansPerfettoPath: policyCSVPath(*spansPerfetto, p, len(policies) > 1),
-			obs:               observer,
+			tsdbPerfettoPath:  policyCSVPath(*tsdbPerfetto, p, len(policies) > 1),
+			rulesName:         *rulesFlag,
+			obs:               observers[i],
 		}
 		wg.Add(1)
 		go func(i int, opts runOpts) {
@@ -374,6 +427,23 @@ func runOne(o runOpts) (string, error) {
 		fmt.Fprintf(&b, "\nThreshold retraining (from this run's power trace and capping history):\n%s", rec.Describe())
 	}
 
+	if db := o.obs.TimeSeries(); db != nil {
+		db.Flush()
+		wins := make([]string, 0, len(db.Windows()))
+		for _, w := range db.Windows() {
+			wins = append(wins, w.String())
+		}
+		fmt.Fprintf(&b, "\nTelemetry: %d series, %.0f KiB retained (raw %s + %s rollups; memory independent of run length)\n",
+			db.NumSeries(), float64(db.MemoryBytes())/1024, db.Step(), strings.Join(wins, "/"))
+	}
+	if rl := o.obs.RuleEngine(); rl != nil {
+		rl.Finish()
+		fmt.Fprintf(&b, "Alerts (%s rules):\n", o.rulesName)
+		if err := rl.WriteSummary(&b); err != nil {
+			return "", fmt.Errorf("alerts: %w", err)
+		}
+	}
+
 	prov := o.provenance(ctrl.Name())
 	if o.csvPath != "" {
 		if err := writeCSV(o.csvPath, m.Util, prov); err != nil {
@@ -394,6 +464,15 @@ func runOne(o runOpts) (string, error) {
 			}
 			fmt.Fprintf(&b, "Perfetto trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", o.perfettoPath)
 		}
+	}
+	if db := o.obs.TimeSeries(); db != nil && o.tsdbPerfettoPath != "" {
+		res := db.Windows()[0]
+		if err := writeTrace(o.tsdbPerfettoPath, func(w io.Writer) error {
+			return db.WriteChromeTrace(w, res)
+		}); err != nil {
+			return "", fmt.Errorf("tsdb-perfetto: %w", err)
+		}
+		fmt.Fprintf(&b, "TSDB counter tracks (%s resolution) written to %s\n", res, o.tsdbPerfettoPath)
 	}
 	if sp := o.obs.SpanSink(); sp != nil {
 		if o.spansPath != "" {
@@ -450,6 +529,12 @@ func (o runOpts) provenance(policyName string) obs.Provenance {
 	if o.cfg.Serve != nil {
 		p["serve"] = true
 		p["router"] = o.cfg.Serve.Router
+	}
+	if o.obs.TimeSeries() != nil {
+		p["tsdb"] = true
+	}
+	if o.rulesName != "" {
+		p["rules"] = o.rulesName
 	}
 	return p
 }

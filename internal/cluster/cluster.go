@@ -102,6 +102,12 @@ type RowConfig struct {
 	// telemetry tick).
 	OOBRetryBackoff time.Duration
 
+	// TTFTSLO is the time-to-first-token SLO threshold behind the TSDB's
+	// SLO counters (row.ttft_ok / row.ttft_total) that burn-rate alert
+	// rules consume in serve mode. Zero defaults to 15 s. Telemetry-only:
+	// it never affects scheduling or admission.
+	TTFTSLO time.Duration
+
 	// Serve switches the row from the slot model to the request-level
 	// serving backend: one continuous-batching serve.Replica per server,
 	// with arrivals spread by the configured router. Nil (the default) keeps
@@ -278,6 +284,8 @@ func (c RowConfig) Validate() error {
 		return fmt.Errorf("cluster: negative OOB retry budget")
 	case c.OOBRetryBackoff < 0:
 		return fmt.Errorf("cluster: negative OOB retry backoff")
+	case c.TTFTSLO < 0:
+		return fmt.Errorf("cluster: negative TTFT SLO")
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -522,6 +530,10 @@ type Row struct {
 	brakeCtr     *obs.Counter
 	cmdsInFlight int
 
+	// tsdb is the sim-time TSDB wiring (nil unless the observer carries a
+	// TSDB); see tsdbwire.go.
+	tsdb *rowTSDB
+
 	// Serve-mode runtime (zero in slot mode): the resolved serving config,
 	// one router per priority pool, and reusable routing scratch slices.
 	serveCfg   serve.Config
@@ -606,6 +618,7 @@ func NewRow(eng *sim.Engine, cfg RowConfig, ctrl Controller) (*Row, error) {
 		r.lockCmdCtr = o.Counter("row_oob_commands_total")
 		r.failedCmdCtr = o.Counter("row_oob_failures_total")
 		r.brakeCtr = o.Counter("row_brake_events_total")
+		r.initTSDB(o)
 	}
 	// The injector is nil for an empty spec, so the unfaulted hot paths pay
 	// one branch. Its streams are named, independent draws from the engine:
@@ -711,10 +724,12 @@ func (r *Row) Run(arrivals trace.RatePlan) *Metrics {
 	r.startTelemetry()
 	r.eng.RunUntil(horizon)
 	r.stopTelemetry()
+	r.scheduleTSDBFinish()
 	// Drain in-flight work so tail latencies are recorded.
 	r.eng.RunUntil(horizon + 30*time.Minute)
 	r.metrics.Faults = r.inj.Counts()
 	r.finalizeServe()
+	r.finishTSDB()
 	return r.metrics
 }
 
@@ -748,6 +763,7 @@ func (r *Row) startTelemetry() {
 		r.pumpCommands(now)
 		r.tryAdmit(workload.Low, now)
 		r.tryAdmit(workload.High, now)
+		r.tsdbTick(now, util)
 	})
 	r.metrics.Util.Step = r.cfg.TelemetryInterval
 	r.metrics.Util.Start = r.eng.Now() + r.cfg.TelemetryInterval

@@ -11,12 +11,21 @@ import (
 	"polca/internal/workload"
 )
 
-// runObservedRow runs a row with a tracer and metrics registry attached and
-// returns both the run metrics and the row (for in-flight inspection).
+// runObservedRow runs a row with the full observability stack attached —
+// tracer, metrics registry, TSDB, and the default alert ruleset (the
+// -tsdb -rules flag combination) — and returns both the run metrics and
+// the row (for in-flight inspection). Attaching everything here means the
+// zero-perturbation test below covers the whole pipeline.
 func runObservedRow(t *testing.T, cfg cluster.RowConfig, ctrl cluster.Controller,
 	busy float64, horizon time.Duration) (*cluster.Metrics, *cluster.Row, *obs.Observer) {
 	t.Helper()
 	o := &obs.Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	set, err := obs.ParseRules(obs.DefaultRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.DB = obs.NewTSDB(obs.TSDBConfig{Step: cfg.TelemetryInterval})
+	o.Rules = obs.NewRules(o.DB, set, o.Tracer)
 	eng := sim.New(cfg.Seed)
 	eng.SetObserver(o)
 	row := cluster.MustRow(eng, cfg, ctrl)

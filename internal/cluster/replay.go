@@ -75,9 +75,11 @@ func (r *Row) RunRequests(reqs []workload.Request, horizon time.Duration) *Metri
 	r.startTelemetry()
 	r.eng.RunUntil(horizon)
 	r.stopTelemetry()
+	r.scheduleTSDBFinish()
 	r.eng.RunUntil(horizon + 30*time.Minute)
 	r.metrics.Faults = r.inj.Counts()
 	r.finalizeServe()
+	r.finishTSDB()
 	return r.metrics
 }
 

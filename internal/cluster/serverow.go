@@ -103,14 +103,20 @@ func (r *Row) initServe() error {
 			return err
 		}
 		rep.OnFirstToken = func(s *serve.Seq, now sim.Time) {
-			classDigest(r.metrics.TTFT, s.Req.Class).Add(s.TTFTSeconds())
+			sec := s.TTFTSeconds()
+			classDigest(r.metrics.TTFT, s.Req.Class).Add(sec)
+			r.tsdb.observeFirstToken(now, sec)
 		}
 		rep.OnComplete = func(s *serve.Seq, now sim.Time) {
 			pri := s.Req.Priority
 			r.metrics.Completed[pri]++
 			r.metrics.LatencySec[pri] = append(r.metrics.LatencySec[pri], (now - s.Req.Arrival).Seconds())
 			r.metrics.BusySec[pri] += (now - s.Enqueued).Seconds()
-			classDigest(r.metrics.TBT, s.Req.Class).Add(s.MeanTBTSeconds())
+			tbt := s.MeanTBTSeconds()
+			classDigest(r.metrics.TBT, s.Req.Class).Add(tbt)
+			if ts := r.tsdb; ts != nil {
+				ts.tbt.Observe(now, tbt)
+			}
 			r.metrics.ClassEnergyJ[s.Req.Class] += s.EnergyJ()
 			r.metrics.ClassTokens[s.Req.Class] += int64(s.Decoded())
 			r.completedCtr[pri].Inc()

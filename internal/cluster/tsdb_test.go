@@ -1,0 +1,231 @@
+package cluster_test
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"time"
+
+	"polca/internal/cluster"
+	"polca/internal/faults"
+	"polca/internal/obs"
+	"polca/internal/polca"
+	"polca/internal/sim"
+)
+
+// runRowWithTSDB runs a row with the full telemetry pipeline attached —
+// tracer, registry, TSDB (raw step = the telemetry interval), and the
+// given ruleset — and returns the metrics and observer.
+func runRowWithTSDB(t *testing.T, cfg cluster.RowConfig, ctrl cluster.Controller,
+	busy float64, horizon time.Duration, rulesSrc string) (*cluster.Metrics, *obs.Observer) {
+	t.Helper()
+	set, err := obs.ParseRules(rulesSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &obs.Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	o.DB = obs.NewTSDB(obs.TSDBConfig{Step: cfg.TelemetryInterval})
+	o.Rules = obs.NewRules(o.DB, set, o.Tracer)
+	eng := sim.New(cfg.Seed)
+	eng.SetObserver(o)
+	row := cluster.MustRow(eng, cfg, ctrl)
+	m := row.Run(flatPlan(cfg, busy, horizon))
+	return m, o
+}
+
+// TestBreachAlertReconcilesWithGroundTruth is the alert ground-truth
+// acceptance criterion: under a fault scenario with a telemetry blackout
+// (the figfault setup), the breaker-breach rule's active seconds must
+// equal stats.Series.TimeAbove on the run's own full-resolution
+// utilization series EXACTLY — both count strictly-above samples times the
+// telemetry step — and the fire/resolve events in the trace must
+// reconstruct to the same total offline.
+func TestBreachAlertReconcilesWithGroundTruth(t *testing.T) {
+	cfg := testConfig()
+	cfg.AddedFraction = 0.30 // oversubscribed: breaches actually happen
+	horizon := 2 * time.Hour
+	spec, err := faults.Parse("tblackout=48m+1m12s") // 40% + 1% of 2h, as in the fault figures
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = spec
+	m, o := runRowWithTSDB(t, cfg, polca.New(polca.DefaultConfig()), 0.97, horizon,
+		"alert breaker-breach row.util > 1 severity page")
+
+	groundTruth := m.Util.TimeAbove(1)
+	if groundTruth == 0 {
+		t.Fatal("scenario produced no breaches; the reconciliation test needs some")
+	}
+	st := o.Rules.Alerts()[0]
+	if st.Fires == 0 {
+		t.Fatal("breach rule never fired")
+	}
+	if got := st.ActiveSec; got != groundTruth.Seconds() {
+		t.Errorf("alert active = %gs, ground truth TimeAbove = %gs; must match exactly",
+			got, groundTruth.Seconds())
+	}
+
+	// Offline reconstruction from the event trace: every fire pairs with a
+	// resolve whose value is the episode's seconds; totals reconcile.
+	fires, resolves := 0, 0
+	var resolvedSec float64
+	openAt := time.Duration(-1)
+	var longest float64
+	for _, ev := range o.Tracer.Events() {
+		switch ev.Kind {
+		case obs.KindAlertFire:
+			if openAt >= 0 {
+				t.Fatal("fire without intervening resolve")
+			}
+			openAt = ev.At
+			fires++
+		case obs.KindAlertResolve:
+			if openAt < 0 {
+				t.Fatal("resolve without open fire")
+			}
+			// The traced episode length equals the event-timestamp span:
+			// fire at the first breaching tick, resolve one step past the
+			// last.
+			span := (ev.At - openAt).Seconds() + cfg.TelemetryInterval.Seconds()
+			if span != ev.Value+cfg.TelemetryInterval.Seconds() {
+				// ev.Value counts steps while active including the firing
+				// tick; the timestamp span from fire to resolve is the
+				// same quantity.
+				t.Errorf("episode timestamps span %gs, event value %gs", span, ev.Value)
+			}
+			resolvedSec += ev.Value
+			longest = math.Max(longest, ev.Value)
+			openAt = -1
+			resolves++
+		}
+	}
+	if fires != st.Fires || fires != resolves {
+		t.Errorf("trace has %d fires / %d resolves, summary says %d", fires, resolves, st.Fires)
+	}
+	if resolvedSec != st.ActiveSec {
+		t.Errorf("trace episodes sum to %gs, summary ActiveSec %gs", resolvedSec, st.ActiveSec)
+	}
+	if longest != st.LongestSec {
+		t.Errorf("trace longest episode %gs, summary LongestSec %gs", longest, st.LongestSec)
+	}
+	// And the full-resolution ground truth agrees on the worst excursion.
+	if want := m.Util.LongestRunAbove(1).Seconds(); longest != want {
+		t.Errorf("longest episode %gs, LongestRunAbove %gs", longest, want)
+	}
+}
+
+// TestRollupHierarchyConsistency checks the registered hierarchy end to
+// end on a real run: with one row, site power equals row power at every
+// retained bucket, and the row's final aggregate equals the sum of the
+// per-server series' final samples.
+func TestRollupHierarchyConsistency(t *testing.T) {
+	cfg := testConfig()
+	m, o := runRowWithTSDB(t, cfg, polca.New(polca.DefaultConfig()), 0.8, time.Hour,
+		"alert unused row.util > 99")
+	_ = m
+	db := o.DB
+	row := db.Lookup("row.power")
+	site := db.Lookup("site.power")
+	if row == nil || site == nil {
+		t.Fatal("hierarchy series not registered")
+	}
+	rv, ok1 := row.Last()
+	sv, ok2 := site.Last()
+	if !ok1 || !ok2 || rv != sv {
+		t.Errorf("row.power last = %v,%v; site.power last = %v,%v; single-row site must equal row",
+			rv, ok1, sv, ok2)
+	}
+	var srvSum float64
+	for i := 0; i < cfg.Servers(); i++ {
+		s := db.Lookup(obs.MergeLabels("server.power", obs.Label("server", strconv.Itoa(i))))
+		if s == nil {
+			t.Fatalf("server %d power series missing", i)
+		}
+		v, ok := s.Last()
+		if !ok {
+			t.Fatalf("server %d power never observed", i)
+		}
+		srvSum += v
+	}
+	if math.Abs(srvSum-rv) > 1e-6*math.Max(1, math.Abs(srvSum)) {
+		t.Errorf("row.power last = %v, sum of server lasts = %v", rv, srvSum)
+	}
+	// Row utilization samples in the TSDB mirror the run's own series.
+	util := db.Lookup("row.util")
+	if v, ok := util.Last(); !ok || v != m.Util.Values[len(m.Util.Values)-1] {
+		t.Errorf("row.util last = %v,%v, want %v", v, ok, m.Util.Values[len(m.Util.Values)-1])
+	}
+}
+
+// TestClusterTSDBMemoryIndependentOfHorizon asserts the acceptance
+// criterion at the cluster level: the telemetry footprint of a 64-server
+// row is identical after a 1-day and a 7-day run — retention is bounded by
+// ring capacity, not run length.
+func TestClusterTSDBMemoryIndependentOfHorizon(t *testing.T) {
+	run := func(horizon time.Duration) int {
+		cfg := testConfig()
+		cfg.BaseServers = 64
+		m, o := runRowWithTSDB(t, cfg, polca.New(polca.DefaultConfig()), 0.3, horizon,
+			"alert breach row.util > 1")
+		if m.Arrived[0]+m.Arrived[1] == 0 {
+			t.Fatal("no traffic")
+		}
+		return o.DB.MemoryBytes()
+	}
+	short := run(time.Hour)
+	longHorizon := 24 * time.Hour
+	if !testing.Short() {
+		longHorizon = 7 * 24 * time.Hour
+	}
+	long := run(longHorizon)
+	if short != long {
+		t.Errorf("telemetry memory grew with horizon: %d bytes (1h) vs %d bytes (%v)",
+			short, long, longHorizon)
+	}
+}
+
+// TestServeModeTSDBSignals checks the serve-mode-only series get wired and
+// fed: KV occupancy and queue-depth rollups, TTFT/TBT distributions, and
+// the good/total SLO counters that drive burn-rate rules — and that the
+// footprint stays horizon-independent in serve mode too.
+func TestServeModeTSDBSignals(t *testing.T) {
+	run := func(horizon time.Duration) (*cluster.Metrics, *obs.Observer) {
+		cfg := serveConfig()
+		return runRowWithTSDB(t, cfg, polca.New(polca.DefaultConfig()), 0.8, horizon,
+			"alert slo-burn burn(row.ttft_ok,row.ttft_total,0.99,1m,10m) > 14.4")
+	}
+	m, o := run(time.Hour)
+	if m.Completed[0]+m.Completed[1] == 0 {
+		t.Fatal("no completions")
+	}
+	db := o.DB
+	for _, name := range []string{"row.kv", "row.queue", "row.ttft", "row.tbt"} {
+		s := db.Lookup(name)
+		if s == nil {
+			t.Fatalf("%s not registered in serve mode", name)
+		}
+		if _, ok := s.Last(); !ok {
+			t.Errorf("%s never observed", name)
+		}
+	}
+	totalSeries := db.Lookup("row.ttft_total")
+	okSeries := db.Lookup("row.ttft_ok")
+	tot, _ := totalSeries.Last()
+	okv, _ := okSeries.Last()
+	if tot == 0 || okv > tot {
+		t.Errorf("SLO counters: ok=%v total=%v, want 0 < ok <= total", okv, tot)
+	}
+	// Every first token increments the total counter exactly once.
+	if int(tot) != m.Completed[0]+m.Completed[1] {
+		// Requests still decoding at drain have emitted their first token
+		// but not completed; totals can exceed completions, never trail.
+		if int(tot) < m.Completed[0]+m.Completed[1] {
+			t.Errorf("ttft_total = %v < completions %d", tot, m.Completed[0]+m.Completed[1])
+		}
+	}
+
+	_, o2 := run(2 * time.Hour)
+	if a, b := o.DB.MemoryBytes(), o2.DB.MemoryBytes(); a != b {
+		t.Errorf("serve-mode telemetry memory grew with horizon: %d vs %d bytes", a, b)
+	}
+}

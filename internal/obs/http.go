@@ -16,12 +16,17 @@ import (
 //	/debug/pprof/*  the standard runtime profiles
 //
 // Either field may be nil; the corresponding endpoint then serves an empty
-// snapshot rather than failing.
-func Handler(reg *Registry, prog *Progress) http.Handler {
+// snapshot rather than failing. Optional TSDBHandles append each TSDB's
+// latest values (with its labels) to the /metrics exposition, so a live
+// scrape sees the registry and the sim-time telemetry in one page.
+func Handler(reg *Registry, prog *Progress, dbs ...TSDBHandle) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.Snapshot().WritePrometheus(w)
+		for _, h := range dbs {
+			_ = h.DB.WritePrometheus(w, h.Labels)
+		}
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -45,12 +50,20 @@ func Handler(reg *Registry, prog *Progress) http.Handler {
 // The listener lives for the remaining process lifetime — the CLIs exit
 // shortly after their runs complete, so there is no graceful-shutdown
 // dance.
-func Serve(addr string, reg *Registry, prog *Progress) (string, error) {
+func Serve(addr string, reg *Registry, prog *Progress, dbs ...TSDBHandle) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: Handler(reg, prog)}
+	srv := &http.Server{Handler: Handler(reg, prog, dbs...)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
+}
+
+// TSDBHandle pairs a TSDB with the pre-rendered label list (`k="v",...`)
+// distinguishing it on the shared /metrics page — the CLIs pass one
+// handle per policy, labeled with the policy name.
+type TSDBHandle struct {
+	DB     *TSDB
+	Labels string
 }

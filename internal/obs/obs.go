@@ -104,6 +104,12 @@ const (
 	// only when the high water grows by at least a capacity step, so the
 	// stream stays bounded.
 	KindKVHighWater
+	// KindAlertFire and KindAlertResolve bracket one alert episode from
+	// the rules engine. Label carries the rule name, Reason the rule's
+	// condition text; Value is the evaluated expression on fire and the
+	// episode's active seconds on resolve.
+	KindAlertFire
+	KindAlertResolve
 )
 
 var kindNames = [...]string{
@@ -134,6 +140,8 @@ var kindNames = [...]string{
 	KindBatchForm:       "batch.form",
 	KindPreempt:         "preempt",
 	KindKVHighWater:     "kv.highwater",
+	KindAlertFire:       "alert.fire",
+	KindAlertResolve:    "alert.resolve",
 }
 
 // String returns the event kind's wire name ("cap.apply").
@@ -285,6 +293,28 @@ type Observer struct {
 	Metrics *Registry
 	Spans   *SpanTracer
 	Labels  string
+
+	// DB, when set, is the sim-time TSDB the cluster wiring registers its
+	// telemetry series into; Rules is the alert/recording rules engine the
+	// row evaluates on each telemetry tick. Both are nil-safe when unset.
+	DB    *TSDB
+	Rules *Rules
+}
+
+// TimeSeries returns the sim-time TSDB (nil when disabled).
+func (o *Observer) TimeSeries() *TSDB {
+	if o == nil {
+		return nil
+	}
+	return o.DB
+}
+
+// RuleEngine returns the alert rules engine (nil when disabled).
+func (o *Observer) RuleEngine() *Rules {
+	if o == nil {
+		return nil
+	}
+	return o.Rules
 }
 
 // Trace returns the tracer (nil when disabled).
@@ -353,13 +383,14 @@ func (o *Observer) WithLabels(kv ...string) *Observer {
 			labels += "," + l
 		}
 	}
-	return &Observer{Tracer: o.Tracer, Metrics: o.Metrics, Spans: o.Spans, Labels: labels}
+	return &Observer{Tracer: o.Tracer, Metrics: o.Metrics, Spans: o.Spans, Labels: labels, DB: o.DB, Rules: o.Rules}
 }
 
 // MetricsOnly returns a derived observer with the event and span tracers
-// dropped — the sweep executor attaches it to row engines so grid points
-// contribute metrics without flooding the sweep-level trace with
-// per-request events or accumulating span trees for every grid point.
+// — and the TSDB and rules engine — dropped: the sweep executor attaches
+// it to row engines so grid points contribute metrics without flooding
+// the sweep-level trace with per-request events, accumulating span trees,
+// or cross-wiring hundreds of grid points into one alert engine.
 func (o *Observer) MetricsOnly() *Observer {
 	if o == nil || o.Metrics == nil {
 		return nil

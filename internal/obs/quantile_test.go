@@ -198,3 +198,82 @@ func BenchmarkQuantileSketch(b *testing.B) {
 }
 
 var sinkF float64
+
+// TestDigestMergeUnderCompression folds many shard digests — the
+// per-replica → per-row fold the cluster performs at finalize — at a low
+// compression so the merge path actually fuses centroids, and asserts the
+// sketch's guarantees survive: exact count, exact extremes (p0/p100 are
+// tracked min/max, never interpolated away), and bounded rank error at the
+// operating percentiles. Both fold shapes (sequential chain and pairwise
+// tree) must satisfy the same bounds.
+func TestDigestMergeUnderCompression(t *testing.T) {
+	const (
+		shards      = 50
+		perShard    = 2000
+		compression = 100
+	)
+	r := rand.New(rand.NewSource(17))
+	var xs []float64
+	build := func() []*Digest {
+		parts := make([]*Digest, shards)
+		for i := range parts {
+			parts[i] = NewDigest(compression)
+		}
+		return parts
+	}
+	seq := build()
+	tree := build()
+	for i := 0; i < shards; i++ {
+		for j := 0; j < perShard; j++ {
+			// Heavy-tailed and shard-skewed, like per-replica TTFT under
+			// uneven load.
+			x := r.ExpFloat64()*float64(i+1) + float64(i%7)
+			xs = append(xs, x)
+			seq[i].Add(x)
+			tree[i].Add(x)
+		}
+	}
+	sort.Float64s(xs)
+
+	chain := NewDigest(compression)
+	for _, p := range seq {
+		chain.Merge(p)
+	}
+	for len(tree) > 1 {
+		var next []*Digest
+		for i := 0; i+1 < len(tree); i += 2 {
+			tree[i].Merge(tree[i+1])
+			next = append(next, tree[i])
+		}
+		if len(tree)%2 == 1 {
+			next = append(next, tree[len(tree)-1])
+		}
+		tree = next
+	}
+
+	for name, d := range map[string]*Digest{"chain": chain, "tree": tree[0]} {
+		if d.Count() != int64(len(xs)) {
+			t.Errorf("%s: Count = %d, want %d (must be exact)", name, d.Count(), len(xs))
+		}
+		if got := d.Percentile(0); got != xs[0] {
+			t.Errorf("%s: p0 = %g, want exact min %g", name, got, xs[0])
+		}
+		if got := d.Percentile(100); got != xs[len(xs)-1] {
+			t.Errorf("%s: p100 = %g, want exact max %g", name, got, xs[len(xs)-1])
+		}
+		n := float64(len(xs))
+		for _, tc := range []struct{ p, rankFracTol float64 }{
+			{50, 0.01}, {90, 0.01}, {99, 0.005},
+		} {
+			if frac := rankError(xs, tc.p, d.Percentile(tc.p)) / n; frac > tc.rankFracTol {
+				t.Errorf("%s: p%g rank error %.4f of n, tolerance %.4f",
+					name, tc.p, frac, tc.rankFracTol)
+			}
+		}
+		means, _ := d.Centroids()
+		if len(means) > 2*compression {
+			t.Errorf("%s: %d centroids after merges, want <= %d (compression held)",
+				name, len(means), 2*compression)
+		}
+	}
+}

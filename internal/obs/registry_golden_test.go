@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestPrometheusExpositionGolden pins the /metrics wire format byte for
+// byte: registry counters/gauges/histograms plus the TSDB's per-level
+// series, exactly as a scrape concatenates them. Regenerate after an
+// intentional format change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/obs -run TestPrometheusExpositionGolden
+func TestPrometheusExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`row_requests_total{priority="high"}`).Add(120)
+	reg.Counter(`row_requests_total{priority="low"}`).Add(45)
+	reg.Counter("row_brake_engage_total").Add(3)
+	reg.Gauge("row_power_watts").Set(11520.5)
+	reg.Gauge("row_util_frac").Set(0.9375)
+	h := reg.Histogram("row_util_hist", DefaultUtilBuckets)
+	h.Observe(0.72, 10*time.Second)
+	h.Observe(0.97, 4*time.Second)
+	h.Observe(1.02, 2*time.Second)
+
+	db := NewTSDB(TSDBConfig{Step: 2 * time.Second})
+	site := db.Series("site.power", LevelSite, WithUnit("W"))
+	row := db.Series("row.power", LevelRow, WithParent(site, AggSum), WithUnit("W"))
+	for i, w := range []float64{410.25, 395, 402.5} {
+		s := db.Series("server.power{server=\""+string(rune('0'+i))+"\"}",
+			LevelServer, WithParent(row, AggSum), WithCapacity(16))
+		s.Observe(2*time.Second, w)
+		s.Observe(4*time.Second, w+1)
+	}
+	db.Series("row.req_total", LevelRow, CounterSeries()).Add(4*time.Second, 165)
+	db.Flush()
+
+	var b bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WritePrometheus(&b, Label("policy", "polca")); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "registry.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s updated", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("exposition differs from golden (UPDATE_GOLDEN=1 to regenerate if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			b.String(), want)
+	}
+}

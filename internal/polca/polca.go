@@ -99,6 +99,12 @@ type Policy struct {
 	t2HPEngaged bool // HP capped
 	t2Since     sim.Time
 	t2Armed     bool
+
+	// Controller-view TSDB series (nil when the run has no TSDB), bound
+	// lazily on the first telemetry tick so construction needs no actuator.
+	ctrlUtil  *obs.TSSeries
+	ctrlStage *obs.TSSeries
+	tsdbBound bool
 }
 
 // New returns a Policy with the given configuration. It panics on an
@@ -177,6 +183,33 @@ func (p *Policy) OnTelemetry(now sim.Time, util float64, act cluster.Actuator) {
 	}
 	act.SetPoolLock(workload.Low, lp)
 	act.SetPoolLock(workload.High, hp)
+	p.observeState(now, util, act)
+}
+
+// observeState records the controller's view into the run's sim-time
+// TSDB: the utilization it acted on (which under telemetry faults can
+// diverge from the row's physical reading) and the engaged stage as a
+// step series (0 = uncapped, 1 = T1, 2 = T2 low-priority, 3 = T2 both).
+// Observation-only; a run without a TSDB pays two nil-receiver branches.
+func (p *Policy) observeState(now sim.Time, util float64, act cluster.Actuator) {
+	if !p.tsdbBound {
+		p.tsdbBound = true
+		if db := act.Observer().TimeSeries(); db != nil {
+			p.ctrlUtil = db.Series("ctrl.util", obs.LevelRow, obs.WithUnit("frac"))
+			p.ctrlStage = db.Series("ctrl.stage", obs.LevelRow, obs.WithUnit("stage"))
+		}
+	}
+	p.ctrlUtil.Observe(now, util)
+	stage := 0.0
+	switch {
+	case p.t2HPEngaged:
+		stage = 3
+	case p.t2LPEngaged:
+		stage = 2
+	case p.t1Engaged:
+		stage = 1
+	}
+	p.ctrlStage.Observe(now, stage)
 }
 
 // Engaged reports the current threshold state (for tests and inspection).

@@ -319,6 +319,26 @@ func (r *Replica) KVFrac() float64 {
 	return float64(r.currentKVToks()) / float64(r.kvCapToks)
 }
 
+// TelemetrySample is the non-destructive per-tick reading the row's
+// sim-time TSDB ingests every telemetry interval.
+type TelemetrySample struct {
+	Queue   int     // waiting-queue depth
+	Running int     // running-batch size
+	KVFrac  float64 // reserved KV cache as a fraction of capacity
+}
+
+// TelemetrySample reads the replica's queue, batch, and KV occupancy
+// without settling the in-flight coalesced decode span — unlike Stats,
+// it is safe to call on every telemetry tick without perturbing the
+// span trace or paying the settlement cost.
+func (r *Replica) TelemetrySample() TelemetrySample {
+	return TelemetrySample{
+		Queue:   r.waiting.Len(),
+		Running: len(r.running),
+		KVFrac:  r.KVFrac(),
+	}
+}
+
 // KVReservedBytes returns the reserved KV bytes per GPU.
 func (r *Replica) KVReservedBytes() float64 {
 	return float64(r.currentKVToks()) * float64(r.kvPerTok)

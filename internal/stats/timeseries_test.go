@@ -48,6 +48,54 @@ func TestDownsample(t *testing.T) {
 	}
 }
 
+// TestDownsampleEdges pins the degenerate inputs: partial final windows
+// keep their exact partial mean, a window equal to the step is the
+// identity, a zero or negative window cannot divide by zero, and a series
+// with no step (never sampled) passes through untouched.
+func TestDownsampleEdges(t *testing.T) {
+	// Partial final window: 5 samples into 3s windows → [mean(1,3,5), mean(7,9)].
+	s := Series{Start: time.Second, Step: time.Second, Values: []float64{1, 3, 5, 7, 9}}
+	d := s.Downsample(3 * time.Second)
+	if len(d.Values) != 2 || d.Values[0] != 3 || d.Values[1] != 8 {
+		t.Errorf("partial final window: got %v, want [3 8]", d.Values)
+	}
+	if d.Start != s.Start || d.Step != 3*time.Second {
+		t.Errorf("downsampled start/step = %v/%v, want %v/3s", d.Start, d.Step, s.Start)
+	}
+	// Window == step: identity (per == 1).
+	if got := s.Downsample(time.Second); len(got.Values) != len(s.Values) || got.Step != s.Step {
+		t.Errorf("window==step should be identity, got %v step %v", got.Values, got.Step)
+	}
+	// Zero and negative windows: identity, no panic, no zero division.
+	for _, w := range []time.Duration{0, -time.Second} {
+		if got := s.Downsample(w); len(got.Values) != len(s.Values) {
+			t.Errorf("Downsample(%v) mangled the series: %v", w, got.Values)
+		}
+	}
+	// Window not a multiple of the step truncates to whole steps: 2.5s of
+	// 1s samples → per = 2.
+	if got := s.Downsample(2500 * time.Millisecond); got.Step != 2*time.Second || len(got.Values) != 3 {
+		t.Errorf("fractional window: step %v len %d, want 2s len 3", got.Step, len(got.Values))
+	}
+	// Zero-step series (never sampled): identity, no division by zero.
+	empty := Series{Values: []float64{4, 2}}
+	if got := empty.Downsample(time.Minute); len(got.Values) != 2 || got.Step != 0 {
+		t.Errorf("zero-step series should pass through, got %+v", got)
+	}
+	// Empty values: empty result, correct metadata.
+	none := Series{Step: time.Second}
+	if got := none.Downsample(4 * time.Second); len(got.Values) != 0 || got.Step != 4*time.Second {
+		t.Errorf("empty series downsample = %+v", got)
+	}
+	// Downsampled partial window still reconciles with TimeAbove on the
+	// raw series when the limit separates whole windows — the rollup
+	// never invents threshold crossings.
+	raw := Series{Step: time.Second, Values: []float64{0, 0, 0, 2, 2}}
+	if raw.Downsample(5 * time.Second).Values[0] != raw.Mean() {
+		t.Error("single-window downsample must equal the series mean")
+	}
+}
+
 func TestDownsamplePreservesMean(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	f := func(seed int64) bool {
