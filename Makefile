@@ -5,7 +5,7 @@ GO ?= go
 # benchmark smoke, schema validation of the committed BENCH_*.json
 # trajectory, a chaos smoke run, and a fault-spec fuzz smoke.
 .PHONY: ci
-ci: vet staticcheck rand-audit build test bench-smoke bench-check chaos fuzz-smoke
+ci: vet staticcheck rand-audit build test bench-smoke bench-check chaos chaos-serve fuzz-smoke
 
 .PHONY: vet
 vet:
@@ -55,13 +55,13 @@ test:
 # 16-server day and needs its own -benchtime. BENCH_REQUIRE lists every
 # name; polca-bench -require fails the target if any stops matching, so a
 # renamed benchmark can never silently drop out of the smoke.
-BENCH_MICRO = ^(BenchmarkEngineEvents|BenchmarkQueuePushPop|BenchmarkTimerStop|BenchmarkTracerDisabled|BenchmarkTracerEnabled|BenchmarkServeTracerDisabled|BenchmarkSpanTracerDisabled|BenchmarkQuantileSketch|BenchmarkScheduler|BenchmarkTSDBIngest|BenchmarkRuleEval)$$
-BENCH_REQUIRE = BenchmarkEngineEvents,BenchmarkQueuePushPop,BenchmarkTimerStop,BenchmarkTracerDisabled,BenchmarkTracerEnabled,BenchmarkServeTracerDisabled,BenchmarkSpanTracerDisabled,BenchmarkQuantileSketch,BenchmarkScheduler,BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkServeDay
-# The telemetry ingest and rule-evaluation ticks run inside the simulator's
-# hot loop; -zero-alloc hard-fails the build the moment either allocates,
-# with no baseline artifact needed.
-BENCH_ZERO_ALLOC = BenchmarkTSDBIngest,BenchmarkRuleEval
-BENCH_PKGS = . ./internal/serve ./internal/obs
+BENCH_MICRO = ^(BenchmarkEngineEvents|BenchmarkQueuePushPop|BenchmarkTimerStop|BenchmarkTracerDisabled|BenchmarkTracerEnabled|BenchmarkServeTracerDisabled|BenchmarkSpanTracerDisabled|BenchmarkQuantileSketch|BenchmarkScheduler|BenchmarkTSDBIngest|BenchmarkRuleEval|BenchmarkRetryQueue)$$
+BENCH_REQUIRE = BenchmarkEngineEvents,BenchmarkQueuePushPop,BenchmarkTimerStop,BenchmarkTracerDisabled,BenchmarkTracerEnabled,BenchmarkServeTracerDisabled,BenchmarkSpanTracerDisabled,BenchmarkQuantileSketch,BenchmarkScheduler,BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue,BenchmarkServeDay
+# The telemetry ingest, rule-evaluation, and failover-requeue ticks run
+# inside the simulator's hot loop; -zero-alloc hard-fails the build the
+# moment any of them allocates, with no baseline artifact needed.
+BENCH_ZERO_ALLOC = BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue
+BENCH_PKGS = . ./internal/serve ./internal/obs ./internal/cluster
 
 # bench-smoke runs the hot-path set briefly — enough to catch an allocation
 # regression on the event path, the disabled observability fast paths, the
@@ -123,6 +123,18 @@ chaos:
 	$(GO) run ./cmd/polca-sim -days 1 -servers 16 \
 		-faults "tdrop=0.05,tspike=0.02:0.5,tstuck=10h+30m,crash=6h+20,oobburst=11h+15m,kill=2@8h+1h,slow=2:1.5" \
 		-guard -watchdog 5 -oob-retries 8 -oob-backoff 4s -drop-stale
+
+# chaos-serve is the serve-mode counterpart: the race-enabled acceptance
+# suite for request failover, class shedding, circuit breaking, and drain
+# windows, plus one end-to-end chaos day on the serving backend with the
+# full fault-tolerance stack armed.
+.PHONY: chaos-serve
+chaos-serve:
+	$(GO) test -race -run 'TestServeFailoverBeatsDropOnly|TestServeClassShedProtectsCritical|TestServeSafetyInvariantUnderFaults|TestServeFaultToleranceDeterministic|TestServeKVConservationAcrossFailover|TestServeQuiescentFTDoesNotPerturb|TestServeDrainWindows' ./internal/cluster
+	$(GO) run ./cmd/polca-sim -days 1 -servers 16 -serve \
+		-faults "tdrop=0.05,crash=6h+20,oobburst=11h+15m,kill=4@8h+1h,drain=2@14h+30m" \
+		-guard -watchdog 5 -oob-retries 8 -oob-backoff 4s -drop-stale \
+		-retries 3 -retry-backoff 4s -class-shed -circuit-sheds 10 -watchdog-drain
 
 # fuzz-smoke runs the fault-spec parser fuzzer briefly: round-trip and
 # never-panic properties over the DSL grammar.

@@ -80,6 +80,16 @@ type request struct {
 	queue, prefill, recompute, stall float64
 	preempts                         int
 	haveRoot                         bool
+	// attempts counts root spans superseded by a higher-Retry root: the
+	// failover path emits one root per admission, and the latest attempt
+	// is the request's outcome. The superseded attempts' energy, tokens,
+	// and cap attribution accumulate here so the report stays conserved —
+	// a failed attempt's work was still performed.
+	attempts       int
+	attemptEnergyJ float64
+	attemptCapSec  float64
+	attemptCapJ    float64
+	attemptTokens  int32
 	// pending buffers children that arrived before their root — the
 	// critical-path window is unknown until the root supplies Start and
 	// TTFT. WriteJSONL emits each root first, so this stays empty on
@@ -98,6 +108,22 @@ type pendingChild struct {
 
 // latencySec is the request's total residency (arrival to completion/drop).
 func (r *request) latencySec() float64 { return (r.root.End - r.root.Start).Seconds() }
+
+// foldAttempt accumulates a superseded root span's attribution.
+func (r *request) foldAttempt(sp obs.Span) {
+	r.attempts++
+	r.attemptEnergyJ += sp.EnergyJ
+	r.attemptCapSec += sp.CapSec
+	r.attemptCapJ += sp.CapJ
+	r.attemptTokens += sp.Tokens
+}
+
+// energyJ, capSec, capJ, and tokens are the request's totals across every
+// admission attempt; on an unretried request they are just the root's.
+func (r *request) energyJ() float64 { return r.root.EnergyJ + r.attemptEnergyJ }
+func (r *request) capSec() float64  { return r.root.CapSec + r.attemptCapSec }
+func (r *request) capJ() float64    { return r.root.CapJ + r.attemptCapJ }
+func (r *request) tokens() int64    { return int64(r.root.Tokens) + int64(r.attemptTokens) }
 
 // Analyze reads span JSONL in one streaming pass and renders the offline
 // report. Spans fold into per-request aggregates as they arrive, so memory
@@ -155,8 +181,19 @@ func (f *folder) add(sp obs.Span) error {
 		f.byReq[sp.Req] = req
 	}
 	if sp.Kind == obs.SpanRequest {
+		// A retried request emits one root span per admission attempt; the
+		// highest Retry is the outcome, earlier roots are counted as
+		// superseded attempts. Two roots for the *same* attempt is still a
+		// malformed trace.
 		if req.haveRoot {
-			return fmt.Errorf("request %d has two root spans", sp.Req)
+			switch {
+			case sp.Retry == req.root.Retry:
+				return fmt.Errorf("request %d has two root spans", sp.Req)
+			case sp.Retry < req.root.Retry:
+				req.foldAttempt(sp)
+				return nil
+			}
+			req.foldAttempt(req.root)
 		}
 		req.root = sp
 		req.haveRoot = true
@@ -235,23 +272,50 @@ func clip(s, e, lo, hi time.Duration) float64 {
 func writeOverview(b *strings.Builder, reqs []*request) {
 	var energy, capSec, capJ float64
 	var tokens int64
-	completed, dropped, preempted := 0, 0, 0
+	completed, dropped, preempted, attempts, retriedReqs := 0, 0, 0, 0, 0
+	reasons := map[string]int{}
 	for _, r := range reqs {
-		energy += r.root.EnergyJ
-		capSec += r.root.CapSec
-		capJ += r.root.CapJ
-		tokens += int64(r.root.Tokens)
+		energy += r.energyJ()
+		capSec += r.capSec()
+		capJ += r.capJ()
+		tokens += r.tokens()
 		if r.root.Reason == "" {
 			completed++
 		} else {
 			dropped++
+			reasons[r.root.Reason]++
 		}
 		if r.root.Preempts > 0 {
 			preempted++
 		}
+		// In a complete trace the superseded-root count equals the final
+		// root's Retry; on a truncated trace take whichever survived.
+		n := r.attempts
+		if int(r.root.Retry) > n {
+			n = int(r.root.Retry)
+		}
+		if n > 0 {
+			attempts += n
+			retriedReqs++
+		}
 	}
 	fmt.Fprintf(b, "Requests: %d (%d completed, %d dropped, %d preempted at least once)\n",
 		len(reqs), completed, dropped, preempted)
+	if attempts > 0 {
+		fmt.Fprintf(b, "Failover: %d retried attempts across %d requests\n", attempts, retriedReqs)
+	}
+	if dropped > 0 {
+		names := make([]string, 0, len(reasons))
+		for name := range reasons {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(b, "Drop reasons:")
+		for _, name := range names {
+			fmt.Fprintf(b, " %s=%d", name, reasons[name])
+		}
+		fmt.Fprintln(b)
+	}
 	jPerTok := 0.0
 	if tokens > 0 {
 		jPerTok = energy / float64(tokens)
@@ -327,9 +391,9 @@ func writeClassTable(b *strings.Builder, reqs []*request) {
 			a.ttft = append(a.ttft, r.root.TTFTSec)
 		}
 		a.lat = append(a.lat, r.latencySec())
-		a.energy = append(a.energy, r.root.EnergyJ)
-		a.capSec += r.root.CapSec
-		a.tokens += int64(r.root.Tokens)
+		a.energy = append(a.energy, r.energyJ())
+		a.capSec += r.capSec()
+		a.tokens += r.tokens()
 	}
 	sort.Strings(names)
 	fmt.Fprintf(b, "Per-class latency and energy (exact percentiles over the trace):\n")
@@ -365,7 +429,7 @@ func writeTopK(b *strings.Builder, reqs []*request, top int) {
 	writeRanked(b, fmt.Sprintf("Top %d slowest first tokens:", min(top, len(byTTFT))), byTTFT, top)
 
 	byEnergy := append([]*request(nil), reqs...)
-	sort.SliceStable(byEnergy, func(i, j int) bool { return byEnergy[i].root.EnergyJ > byEnergy[j].root.EnergyJ })
+	sort.SliceStable(byEnergy, func(i, j int) bool { return byEnergy[i].energyJ() > byEnergy[j].energyJ() })
 	writeRanked(b, fmt.Sprintf("Top %d most energy-expensive:", min(top, len(byEnergy))), byEnergy, top)
 }
 
@@ -383,7 +447,7 @@ func writeRanked(b *strings.Builder, title string, ranked []*request, top int) {
 		}
 		fmt.Fprintf(b, "%8d %-12s %6d %8s %9.2f %9.1f %9.1f %8d %8d\n",
 			r.root.Req, r.root.Class, r.root.Server, ttft, r.latencySec(),
-			r.root.EnergyJ, r.root.CapSec, r.root.Tokens, r.root.Preempts)
+			r.energyJ(), r.capSec(), r.tokens(), r.root.Preempts)
 	}
 	fmt.Fprintln(b)
 }

@@ -58,10 +58,18 @@ func TestReproducesReportPercentiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Only each request's final attempt contributes to the class table —
+	// the analyzer folds superseded failover roots into attempt counters.
+	finalRetry := map[int64]int32{}
+	for _, sp := range spans {
+		if sp.Kind == obs.SpanRequest && sp.Retry >= finalRetry[sp.Req] {
+			finalRetry[sp.Req] = sp.Retry
+		}
+	}
 	ttftByClass := map[string][]float64{}
 	digests := map[string]*obs.Digest{}
 	for _, sp := range spans {
-		if sp.Kind != obs.SpanRequest || sp.TTFTSec < 0 {
+		if sp.Kind != obs.SpanRequest || sp.TTFTSec < 0 || sp.Retry != finalRetry[sp.Req] {
 			continue
 		}
 		ttftByClass[sp.Class] = append(ttftByClass[sp.Class], sp.TTFTSec)
@@ -113,20 +121,28 @@ func TestAnalyzeConservesFixtureEnergy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rootJ := map[int64]float64{}
-	childJ := map[int64]float64{}
+	// Conservation holds per admission attempt: every span carries the
+	// attempt's Retry, so a retried request's attempts reconcile
+	// independently, and the report total covers all of them.
+	type attempt struct {
+		req   int64
+		retry int32
+	}
+	rootJ := map[attempt]float64{}
+	childJ := map[attempt]float64{}
 	for _, sp := range spans {
+		k := attempt{sp.Req, sp.Retry}
 		if sp.Kind == obs.SpanRequest {
-			rootJ[sp.Req] = sp.EnergyJ
+			rootJ[k] = sp.EnergyJ
 		} else {
-			childJ[sp.Req] += sp.EnergyJ
+			childJ[k] += sp.EnergyJ
 		}
 	}
 	var total float64
-	for req, j := range rootJ {
+	for k, j := range rootJ {
 		total += j
-		if d := childJ[req] - j; d > 1e-6 || d < -1e-6 {
-			t.Errorf("req %d: children sum %.3f J, root %.3f J", req, childJ[req], j)
+		if d := childJ[k] - j; d > 1e-6 || d < -1e-6 {
+			t.Errorf("req %d attempt %d: children sum %.3f J, root %.3f J", k.req, k.retry, childJ[k], j)
 		}
 	}
 	var out, errw bytes.Buffer

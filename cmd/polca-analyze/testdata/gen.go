@@ -1,10 +1,12 @@
 //go:build ignore
 
 // gen regenerates spans.jsonl, the golden-test fixture: a small
-// deterministic serving run under KV pressure and a mid-run clock-lock
-// retarget, so the fixture exercises queueing, chunked prefill, preemption
-// recompute, decode coalescing, and cap-slowdown attribution. Run from this
-// directory:
+// deterministic serving run under KV pressure, a mid-run clock-lock
+// retarget, and a node death, so the fixture exercises queueing, chunked
+// prefill, preemption recompute, decode coalescing, cap-slowdown
+// attribution, drop reasons, and the failover path's multi-root spans
+// (half the killed requests are re-admitted with a bumped Retry, as the
+// cluster failover path would). Run from this directory:
 //
 //	go run gen.go
 //
@@ -41,6 +43,19 @@ func main() {
 	}
 
 	dev.LockClock(1100)
+	// Kill the node mid-run: in-flight sequences drop with reason
+	// node-death. Even-ID victims are re-admitted five seconds later with a
+	// bumped Retry — the shape the cluster failover path produces — so the
+	// fixture holds both permanent drops and retried multi-root requests.
+	rep.OnDrop = func(s *serve.Seq, now sim.Time, reason string) {
+		req := s.Req
+		if req.ID%2 != 0 {
+			return
+		}
+		req.Retry++
+		eng.At(now+5*time.Second, func(at sim.Time) { rep.Enqueue(at, req) })
+	}
+	eng.At(25*time.Second, func(now sim.Time) { rep.Fail(now) })
 	classes := []string{"chat", "search", "code"}
 	for i := 0; i < 12; i++ {
 		i := i

@@ -9,6 +9,8 @@
 //	          [-faults SPEC] [-guard] [-watchdog N]
 //	          [-oob-retries N] [-oob-backoff D] [-drop-stale]
 //	          [-serve] [-router round-robin|least-queue|least-kv|power-aware]
+//	          [-retries N] [-retry-backoff D] [-class-shed]
+//	          [-circuit-sheds N] [-circuit-cooldown D] [-watchdog-drain]
 //
 // Serving backend: -serve replaces the slot model (whole requests dispatched
 // to exclusive per-server slots) with the request-level serving engine —
@@ -30,6 +32,21 @@
 // -oob-retries/-oob-backoff pair bounds OOB command retries, and
 // -drop-stale discards in-flight cap commands superseded before landing.
 // All default to off, which reproduces the fault-free simulator exactly.
+//
+// Serve-mode fault tolerance: -retries N arms request failover — a request
+// dropped by node death, an empty routable set, or a full replica queue
+// re-enters the router up to N times (deterministic exponential backoff from
+// -retry-backoff, default one telemetry interval) before it is finally
+// dropped as retry-exhausted; recompute semantics, so tokens from a failed
+// attempt are discarded. -class-shed arms SLO-class-aware degradation:
+// under a power emergency (brake, watchdog, deep frequency cap, or
+// sustained KV pressure) admission sheds batch/sheddable classes first and
+// the critical interactive class last, reported as per-class goodput.
+// -circuit-sheds N opens a per-replica circuit breaker after N queue sheds
+// within one telemetry epoch (cooldown -circuit-cooldown, default 30s), and
+// -watchdog-drain makes an engaged deadman also drain the serve replicas
+// gracefully. All default to off; the drop-only serving backend is
+// reproduced exactly.
 //
 // -policy accepts a comma-separated list (e.g. "polca,nocap"); the
 // simulations then run concurrently, bounded by -parallel workers, and the
@@ -127,6 +144,12 @@ func main() {
 	dropStale := flag.Bool("drop-stale", false, "drop in-flight OOB commands superseded before landing (off = apply the outdated lock, the historical behaviour)")
 	serveMode := flag.Bool("serve", false, "run the request-level serving backend (continuous batching + KV cache) instead of the slot model")
 	router := flag.String("router", "least-queue", "serve-mode routing policy ("+strings.Join(serve.RouterNames(), ", ")+")")
+	retries := flag.Int("retries", 0, "serve mode: requeue a dropped/shed request up to N times before giving up (0 = drop-only)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "serve mode: base failover backoff, doubling per attempt (0 = one telemetry interval)")
+	classShed := flag.Bool("class-shed", false, "serve mode: shed admission by SLO class under power emergencies (batch first, critical last)")
+	circuitSheds := flag.Int("circuit-sheds", 0, "serve mode: open a replica's circuit after N queue sheds in one telemetry epoch (0 = off)")
+	circuitCooldown := flag.Duration("circuit-cooldown", 0, "serve mode: circuit-breaker cooldown before a tripped replica rejoins routing (0 = 30s)")
+	watchdogDrain := flag.Bool("watchdog-drain", false, "serve mode: an engaged deadman watchdog also drains the serve replicas gracefully")
 	retrain := flag.Bool("retrain", false, "print a threshold retraining recommendation after the run")
 	replay := flag.String("replay", "", "replay a request trace CSV (from polca-trace -requests) instead of generating arrivals")
 	parallel := flag.Int("parallel", 0, "max concurrent policy simulations (0 = GOMAXPROCS)")
@@ -159,6 +182,12 @@ func main() {
 	if *serveMode {
 		cfg.Serve = &serve.Config{Router: *router}
 	}
+	cfg.ServeRetries = *retries
+	cfg.ServeRetryBackoff = *retryBackoff
+	cfg.ServeClassShed = *classShed
+	cfg.ServeCircuitSheds = *circuitSheds
+	cfg.ServeCircuitCooldown = *circuitCooldown
+	cfg.WatchdogDrain = *watchdogDrain
 
 	policies := strings.Split(*policy, ",")
 	for i, p := range policies {
@@ -418,6 +447,26 @@ func runOne(o runOpts) (string, error) {
 			fmt.Fprintf(&b, "%-12s %10d %12.2f %13.1f %10.1f\n", name, tbt.Count(),
 				ttft.Percentile(99), tbt.Percentile(99)*1000, classJTok)
 		}
+		if cfg.ServeRetries > 0 || cfg.ServeClassShed || cfg.ServeCircuitSheds > 0 || cfg.WatchdogDrain {
+			sheds := 0
+			for _, v := range m.ClassShed {
+				sheds += v
+			}
+			fmt.Fprintf(&b, "Failover: %d retries (%d exhausted), %d class sheds, %d circuit opens, %d node drains\n",
+				m.ServeRetries, m.ServeRetryExhausted, sheds, m.CircuitOpens, m.NodeDrains)
+		}
+		if cfg.ServeClassShed {
+			fmt.Fprintf(&b, "%-12s %10s %10s %10s %11s\n", "Class", "arrived", "shed", "SLO ok", "goodput %")
+			for _, name := range workload.Names(cfg.Classes) {
+				arrived := m.ClassArrived[name]
+				if arrived == 0 {
+					continue
+				}
+				goodput := 100 * float64(m.ClassSLOOK[name]) / float64(arrived)
+				fmt.Fprintf(&b, "%-12s %10d %10d %10d %10.1f%%\n",
+					name, arrived, m.ClassShed[name], m.ClassSLOOK[name], goodput)
+			}
+		}
 	}
 
 	if o.retrain {
@@ -529,6 +578,21 @@ func (o runOpts) provenance(policyName string) obs.Provenance {
 	if o.cfg.Serve != nil {
 		p["serve"] = true
 		p["router"] = o.cfg.Serve.Router
+	}
+	if o.cfg.ServeRetries > 0 {
+		p["retries"] = o.cfg.ServeRetries
+		if o.cfg.ServeRetryBackoff > 0 {
+			p["retrybackoff"] = o.cfg.ServeRetryBackoff.String()
+		}
+	}
+	if o.cfg.ServeClassShed {
+		p["classshed"] = true
+	}
+	if o.cfg.ServeCircuitSheds > 0 {
+		p["circuit"] = o.cfg.ServeCircuitSheds
+	}
+	if o.cfg.WatchdogDrain {
+		p["wddrain"] = true
 	}
 	if o.obs.TimeSeries() != nil {
 		p["tsdb"] = true

@@ -60,6 +60,12 @@ type rowTSDB struct {
 	ttftOK    *obs.TSSeries // requests meeting the TTFT SLO
 	ttftTotal *obs.TSSeries // all first tokens
 
+	// Serve-mode fault-tolerance counters. Registered only when a
+	// fault-tolerance knob is armed so the series list (and rule
+	// bindings) for existing configurations stays byte-identical.
+	retryTotal *obs.TSSeries // cumulative failover requeues
+	shedTotal  *obs.TSSeries // cumulative class-shed drops
+
 	// Per-server children, indexed by node.
 	srvPower []*obs.TSSeries
 	srvCap   []*obs.TSSeries
@@ -98,6 +104,10 @@ func (r *Row) initTSDB(o *obs.Observer) {
 		ts.tbt = db.Series("row.tbt", obs.LevelRow, obs.WithUnit("s"))
 		ts.ttftOK = db.Series("row.ttft_ok", obs.LevelRow, obs.CounterSeries())
 		ts.ttftTotal = db.Series("row.ttft_total", obs.LevelRow, obs.CounterSeries())
+		if r.cfg.serveFaultTolerant() {
+			ts.retryTotal = db.Series("row.retries_total", obs.LevelRow, obs.CounterSeries())
+			ts.shedTotal = db.Series("row.sheds_total", obs.LevelRow, obs.CounterSeries())
+		}
 	}
 	ts.brakeTotal = db.Series("row.brake_total", obs.LevelRow, obs.CounterSeries())
 	ts.oobFailTotal = db.Series("row.oob_fail_total", obs.LevelRow, obs.CounterSeries())
@@ -167,6 +177,14 @@ func (r *Row) tsdbTick(now sim.Time, util float64) {
 	ts.oobFailTotal.Observe(now, float64(m.FailedCommands))
 	ts.dropTotal.Observe(now, float64(m.Dropped[workload.Low]+m.Dropped[workload.High]))
 	ts.reqTotal.Observe(now, float64(m.Completed[workload.Low]+m.Completed[workload.High]))
+	if ts.retryTotal != nil {
+		ts.retryTotal.Observe(now, float64(m.ServeRetries))
+		sheds := 0
+		for _, v := range m.ClassShed {
+			sheds += v
+		}
+		ts.shedTotal.Observe(now, float64(sheds))
+	}
 	ts.db.Flush()
 	ts.rules.Eval(now)
 }

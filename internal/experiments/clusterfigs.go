@@ -51,6 +51,15 @@ type rowSpec struct {
 	// serving backend with this routing policy (figserve); "" keeps the
 	// slot model, leaving every paper figure byte-identical.
 	serveRouter string
+
+	// Serve-mode fault-tolerance knobs (figservefault); all zero for the
+	// other serve experiments, which keeps their rows byte-identical to
+	// the drop-only serving backend.
+	serveRetries      int           // failover requeue budget, 0 = drop-only
+	serveRetryBackoff time.Duration // base failover backoff, 0 = telemetry interval
+	serveClassShed    bool          // SLO-class-aware shedding under emergencies
+	serveCircuit      int           // per-replica circuit-breaker shed threshold
+	wdDrain           bool          // engaged watchdog drains serve replicas
 }
 
 // buildController instantiates the policy named in the spec.
@@ -119,6 +128,11 @@ func runRowSpec(o Options, s rowSpec) (*cluster.Metrics, error) {
 	if s.serveRouter != "" {
 		cfg.Serve = &serve.Config{Router: s.serveRouter}
 	}
+	cfg.ServeRetries = s.serveRetries
+	cfg.ServeRetryBackoff = s.serveRetryBackoff
+	cfg.ServeClassShed = s.serveClassShed
+	cfg.ServeCircuitSheds = s.serveCircuit
+	cfg.WatchdogDrain = s.wdDrain
 
 	// The trace is fitted against the *profiled* workload (intensity 1):
 	// POLCA's operators sized the policy before workloads drifted.

@@ -39,6 +39,18 @@ func specLabel(s rowSpec) string {
 	if s.serveRouter != "" {
 		l += " serve=" + s.serveRouter
 	}
+	if s.serveRetries > 0 {
+		l += fmt.Sprintf(" retries=%d", s.serveRetries)
+	}
+	if s.serveClassShed {
+		l += " classshed"
+	}
+	if s.serveCircuit > 0 {
+		l += fmt.Sprintf(" circuit=%d", s.serveCircuit)
+	}
+	if s.wdDrain {
+		l += " wddrain"
+	}
 	return l
 }
 

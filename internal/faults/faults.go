@@ -87,6 +87,13 @@ type Spec struct {
 	Kills           []Kill  // node-death windows
 	Stragglers      int     // nodes permanently slowed
 	StragglerFactor float64 // work stretch for straggler nodes (1.3 = 30% slower)
+
+	// Operator actions. Drains are graceful-drain (maintenance) windows:
+	// the affected servers finish their in-flight work but refuse new
+	// admissions for the window, then return to service. Unlike Kills,
+	// nothing is lost — this models planned node maintenance, the benign
+	// counterpart of a death window.
+	Drains []Kill
 }
 
 // Enabled reports whether the spec injects anything at all.
@@ -95,7 +102,8 @@ func (s Spec) Enabled() bool {
 		len(s.Stuck) > 0 || len(s.Blackout) > 0 ||
 		len(s.Crashes) > 0 || s.MissProb > 0 ||
 		len(s.Burst) > 0 || (s.LatencyScale != 0 && s.LatencyScale != 1) ||
-		len(s.Kills) > 0 || (s.Stragglers > 0 && s.StragglerFactor > 1)
+		len(s.Kills) > 0 || (s.Stragglers > 0 && s.StragglerFactor > 1) ||
+		len(s.Drains) > 0
 }
 
 // Validate reports whether the spec is coherent.
@@ -141,6 +149,11 @@ func (s Spec) Validate() error {
 	for _, k := range s.Kills {
 		if k.Servers < 0 || k.Start < 0 || k.Dur < 0 {
 			return fmt.Errorf("faults: bad kill of %d servers at %s", k.Servers, k.Window)
+		}
+	}
+	for _, d := range s.Drains {
+		if d.Servers < 0 || d.Start < 0 || d.Dur < 0 {
+			return fmt.Errorf("faults: bad drain of %d servers at %s", d.Servers, d.Window)
 		}
 	}
 	return nil
@@ -192,6 +205,14 @@ func (s Spec) Scale(f float64) Spec {
 			out.Kills = append(out.Kills, Kill{Servers: n, Window: Window{Start: k.Start, Dur: d}})
 		}
 	}
+	out.Drains = nil
+	for _, d := range s.Drains {
+		n := int(math.Round(float64(d.Servers) * f))
+		dur := time.Duration(float64(d.Dur) * f)
+		if n > 0 && dur > 0 {
+			out.Drains = append(out.Drains, Kill{Servers: n, Window: Window{Start: d.Start, Dur: dur}})
+		}
+	}
 	out.Stragglers = int(math.Round(float64(s.Stragglers) * f))
 	if s.StragglerFactor > 1 {
 		out.StragglerFactor = 1 + (s.StragglerFactor-1)*f
@@ -223,6 +244,9 @@ func (s Spec) Scale(f float64) Spec {
 //	ooblat=F          OOB latency multiplier (>= 0)
 //	kill=K@START+DUR  K servers dead during the window (repeatable)
 //	slow=K:F          K straggler servers with work stretched by F
+//	drain=K@START+DUR K servers gracefully draining during the window
+//	                  (maintenance: in-flight work finishes, admissions
+//	                  refused; repeatable)
 //
 // An empty string parses to the zero Spec (no faults).
 func Parse(text string) (Spec, error) {
@@ -264,6 +288,10 @@ func Parse(text string) (Spec, error) {
 			var k Kill
 			k, err = parseKill(val)
 			s.Kills = append(s.Kills, k)
+		case "drain":
+			var d Kill
+			d, err = parseKill(val)
+			s.Drains = append(s.Drains, d)
 		case "slow":
 			var f float64
 			var n float64
@@ -322,6 +350,9 @@ func (s Spec) String() string {
 	}
 	if s.Stragglers > 0 && s.StragglerFactor > 1 {
 		add("slow=%d:%s", s.Stragglers, trimFloat(s.StragglerFactor))
+	}
+	for _, d := range sortedKills(s.Drains) {
+		add("drain=%d@%s", d.Servers, d.Window)
 	}
 	return strings.Join(items, ",")
 }
@@ -469,6 +500,7 @@ type Counts struct {
 	CtrlMissedTicks int // isolated missed control ticks
 	OOBBurstFails   int // commands failed by a burst window
 	NodeDeaths      int // node down-transitions
+	NodeDrains      int // graceful-drain window entries
 }
 
 // Injector is the runtime of one Spec on one simulated row. All randomness
@@ -484,6 +516,7 @@ type Injector struct {
 	ctrlRNG  *rand.Rand
 
 	dead      [][]int // node indices killed by each Kill window, precomputed
+	draining  [][]int // node indices drained by each Drain window, precomputed
 	straggler map[int]bool
 
 	counts Counts
@@ -525,6 +558,12 @@ func New(spec Spec, servers int, rnd func(name string) *rand.Rand) *Injector {
 	}
 	for _, k := range spec.Kills {
 		inj.dead = append(inj.dead, take(k.Servers))
+	}
+	// Drain victims draw after every pre-existing consumer, so adding a
+	// drain action to a spec leaves the straggler and kill victim sets —
+	// and therefore every existing scenario — byte-identical.
+	for _, d := range spec.Drains {
+		inj.draining = append(inj.draining, take(d.Servers))
 	}
 	return inj
 }
@@ -659,6 +698,33 @@ func (inj *Injector) ServerDead(idx int, now time.Duration) bool {
 func (inj *Injector) CountNodeDeath() {
 	if inj != nil {
 		inj.counts.NodeDeaths++
+	}
+}
+
+// ServerDraining reports whether node idx is inside a graceful-drain
+// (maintenance) window at now.
+func (inj *Injector) ServerDraining(idx int, now time.Duration) bool {
+	if inj == nil {
+		return false
+	}
+	for di, d := range inj.spec.Drains {
+		if !d.Contains(now) {
+			continue
+		}
+		for _, victim := range inj.draining[di] {
+			if victim == idx {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CountNodeDrain records one drain window entry (the row detects the
+// transition, as with CountNodeDeath).
+func (inj *Injector) CountNodeDrain() {
+	if inj != nil {
+		inj.counts.NodeDrains++
 	}
 }
 

@@ -39,7 +39,8 @@ func TestParseEmpty(t *testing.T) {
 
 func TestParseFullScenario(t *testing.T) {
 	text := "tdrop=0.05,tspike=0.02:0.5,tstuck=10h+30m,tblackout=4h+5m," +
-		"crash=6h+20,miss=0.01,oobburst=11h+15m,ooblat=1.5,kill=2@8h+1h,slow=2:1.3"
+		"crash=6h+20,miss=0.01,oobburst=11h+15m,ooblat=1.5,kill=2@8h+1h,slow=2:1.3," +
+		"drain=2@12h+30m"
 	s, err := faults.Parse(text)
 	if err != nil {
 		t.Fatal(err)
@@ -55,6 +56,7 @@ func TestParseFullScenario(t *testing.T) {
 		LatencyScale: 1.5,
 		Kills:        []faults.Kill{{Servers: 2, Window: faults.Window{Start: 8 * time.Hour, Dur: time.Hour}}},
 		Stragglers:   2, StragglerFactor: 1.3,
+		Drains:       []faults.Kill{{Servers: 2, Window: faults.Window{Start: 12 * time.Hour, Dur: 30 * time.Minute}}},
 	}
 	if !reflect.DeepEqual(s, want) {
 		t.Errorf("Parse mismatch:\n got %+v\nwant %+v", s, want)
@@ -74,8 +76,10 @@ func TestRoundTrip(t *testing.T) {
 		"crash=2h+10,crash=1h+5",
 		"kill=3@2h+10m,kill=1@1h+5m",
 		"miss=0.1,ooblat=2,slow=4:1.5",
+		"drain=3@2h+10m,drain=1@1h+5m", // out of order: String sorts
 		"tdrop=0.05,tspike=0.02:0.5,tstuck=10h+30m,tblackout=4h+5m," +
-			"crash=6h+20,miss=0.01,oobburst=11h+15m,ooblat=1.5,kill=2@8h+1h,slow=2:1.3",
+			"crash=6h+20,miss=0.01,oobburst=11h+15m,ooblat=1.5,kill=2@8h+1h,slow=2:1.3," +
+			"drain=2@12h+30m",
 	}
 	for _, text := range specs {
 		s, err := faults.Parse(text)
@@ -110,6 +114,9 @@ func TestParseErrors(t *testing.T) {
 		"kill=2h+5m",           // missing count
 		"kill=x@2h+5m",         // bad count
 		"kill=-1@2h+5m",        // negative count
+		"drain=2h+5m",          // missing count
+		"drain=x@2h+5m",        // bad count
+		"drain=-1@2h+5m",       // negative count
 		"slow=2.5:1.3",         // fractional straggler count
 		"slow=2:0.5",           // speed-up is not a straggler
 		"ooblat=-1",            // negative latency scale
@@ -348,12 +355,96 @@ func TestValidateRejectsHandBuiltBadSpecs(t *testing.T) {
 		{Stuck: []faults.Window{{Start: -time.Hour, Dur: time.Minute}}},
 		{Crashes: []faults.Crash{{At: time.Hour, Epochs: -1}}},
 		{Kills: []faults.Kill{{Servers: -1, Window: faults.Window{Start: 0, Dur: time.Minute}}}},
+		{Drains: []faults.Kill{{Servers: -1, Window: faults.Window{Start: 0, Dur: time.Minute}}}},
+		{Drains: []faults.Kill{{Servers: 1, Window: faults.Window{Start: -time.Hour, Dur: time.Minute}}}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
 			t.Errorf("spec %d (%+v) should fail validation", i, s)
 		}
 	}
+}
+
+// TestDrainAction covers the graceful-drain/maintenance action end to end:
+// the spec is enabled by drains alone, scaling behaves like kills, the
+// injector reports draining servers only inside the window, and the drain
+// victims never overlap the kill or straggler draws.
+func TestDrainAction(t *testing.T) {
+	spec, err := faults.Parse("drain=4@1h+30m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Enabled() {
+		t.Error("drain-only spec should be enabled")
+	}
+	h := spec.Scale(0.5)
+	if h.Drains[0].Servers != 2 || h.Drains[0].Dur != 15*time.Minute {
+		t.Errorf("scaled drain = %+v, want 2 servers for 15m", h.Drains[0])
+	}
+	if got := spec.Scale(0); got.Enabled() {
+		t.Errorf("Scale(0) = %+v, want disabled", got)
+	}
+
+	const servers = 16
+	mixed, err := faults.Parse("kill=3@1h+10m,slow=2:1.5,drain=4@2h+30m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := faults.New(mixed, servers, namedStreams(7))
+	b := faults.New(mixed, servers, namedStreams(7))
+	mid := 2*time.Hour + 5*time.Minute
+	var drainA, drainB, deadA []int
+	for i := 0; i < servers; i++ {
+		if a.ServerDraining(i, mid) {
+			drainA = append(drainA, i)
+		}
+		if b.ServerDraining(i, mid) {
+			drainB = append(drainB, i)
+		}
+		if a.ServerDead(i, time.Hour+5*time.Minute) {
+			deadA = append(deadA, i)
+		}
+		if a.ServerDraining(i, 4*time.Hour) {
+			t.Errorf("server %d draining outside the window", i)
+		}
+	}
+	if len(drainA) != 4 || len(deadA) != 3 {
+		t.Fatalf("victim counts: %d draining, %d dead", len(drainA), len(deadA))
+	}
+	if !reflect.DeepEqual(drainA, drainB) {
+		t.Error("same seed should pick the same drain victims")
+	}
+	for _, dr := range drainA {
+		for _, d := range deadA {
+			if dr == d {
+				t.Errorf("server %d is both drain and kill victim; draws should not overlap", dr)
+			}
+		}
+		if a.SlowFactor(dr) > 1 {
+			t.Errorf("server %d is both drain victim and straggler", dr)
+		}
+	}
+	a.CountNodeDrain()
+	if a.Counts().NodeDrains != 1 {
+		t.Errorf("NodeDrains = %d, want 1", a.Counts().NodeDrains)
+	}
+
+	// The drain clause renders last in the canonical form, after slow.
+	full, err := faults.Parse("drain=1@1h+5m,slow=2:1.3,kill=1@2h+5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := full.String()
+	if !strings.HasSuffix(canon, "drain=1@1h0m0s+5m0s") {
+		t.Errorf("canonical form should end with the drain clause: %q", canon)
+	}
+
+	// A nil injector never drains.
+	var nilInj *faults.Injector
+	if nilInj.ServerDraining(0, time.Hour) {
+		t.Error("nil ServerDraining should be false")
+	}
+	nilInj.CountNodeDrain() // must not panic
 }
 
 // FuzzFaultSpec feeds arbitrary text through the parser: it must never
@@ -369,8 +460,11 @@ func FuzzFaultSpec(f *testing.F) {
 		"oobburst=11h+15m,ooblat=1.5",
 		"kill=2@8h+1h,slow=2:1.3",
 		"tdrop=0.05,tspike=0.02:0.5,tstuck=10h+30m,crash=6h+20,kill=2@8h+1h",
+		"drain=2@4h+30m",
+		"kill=2@8h+1h,drain=4@8h+1h",
 		"tdrop=",
 		"kill=@+",
+		"drain=@+",
 		"slow=1e300:2",
 		"crash=9223372036854775807ns+1",
 	}

@@ -110,6 +110,24 @@ const (
 	// episode's active seconds on resolve.
 	KindAlertFire
 	KindAlertResolve
+	// KindRetry is a dropped serve-mode request re-entering the router
+	// under the failover path; Value is the attempt number, Reason the
+	// drop reason that triggered the retry.
+	KindRetry
+	// KindDrain and KindUndrain bracket a replica's graceful-drain window
+	// (maintenance action or watchdog drain): in-flight decodes finish,
+	// new admissions are refused. Reason names what initiated the drain.
+	KindDrain
+	KindUndrain
+	// KindShedLevel is the SLO-class load-shedding severity changing;
+	// Value is the new level (0 = admit everything, 1 = shed batch
+	// traffic, 2 = shed everything but the critical class). Reason names
+	// the emergency signal that moved the level.
+	KindShedLevel
+	// KindCircuitOpen is a replica's admission circuit opening after too
+	// many queue-full sheds inside one telemetry epoch; Value is the shed
+	// count that tripped it.
+	KindCircuitOpen
 )
 
 var kindNames = [...]string{
@@ -142,6 +160,11 @@ var kindNames = [...]string{
 	KindKVHighWater:     "kv.highwater",
 	KindAlertFire:       "alert.fire",
 	KindAlertResolve:    "alert.resolve",
+	KindRetry:           "req.retry",
+	KindDrain:           "replica.drain",
+	KindUndrain:         "replica.undrain",
+	KindShedLevel:       "shed.level",
+	KindCircuitOpen:     "circuit.open",
 }
 
 // String returns the event kind's wire name ("cap.apply").

@@ -104,6 +104,10 @@ type Span struct {
 	CapJ      float64
 	TTFTSec   float64
 	Reason    string
+	// Retry is the failover attempt number of the request span's attempt
+	// (0 = first admission); the analyzer uses it to fold multiple root
+	// spans of one failed-over request into a single outcome.
+	Retry int32
 }
 
 // SpanTracer records request spans. Like Tracer, it is safe for concurrent
@@ -230,6 +234,10 @@ func appendSpanJSON(b []byte, sp Span) []byte {
 		b = append(b, `,"reason":`...)
 		b = appendJSONString(b, sp.Reason)
 	}
+	if sp.Retry != 0 {
+		b = append(b, `,"retry":`...)
+		b = strconv.AppendInt(b, int64(sp.Retry), 10)
+	}
 	return append(b, '}')
 }
 
@@ -241,6 +249,9 @@ func (t *SpanTracer) sortedSpans() []Span {
 	sort.Slice(spans, func(i, j int) bool {
 		if spans[i].Req != spans[j].Req {
 			return spans[i].Req < spans[j].Req
+		}
+		if spans[i].Retry != spans[j].Retry {
+			return spans[i].Retry < spans[j].Retry
 		}
 		return spans[i].ID < spans[j].ID
 	})
@@ -372,6 +383,7 @@ type spanJSON struct {
 	CapJ      float64 `json:"cap_j"`
 	TTFTSec   float64 `json:"ttft_s"`
 	Reason    string  `json:"reason"`
+	Retry     int32   `json:"retry"`
 }
 
 // scanSpansMaxLine bounds one JSONL line. Span lines are a few hundred
@@ -453,6 +465,7 @@ func parseSpanLine(raw []byte) (Span, error) {
 		CapJ:      sj.CapJ,
 		TTFTSec:   sj.TTFTSec,
 		Reason:    sj.Reason,
+		Retry:     sj.Retry,
 	}, nil
 }
 

@@ -244,6 +244,12 @@ type Replica struct {
 	seqFree   []*Seq
 	trFree    []*seqTrace
 
+	// draining marks a graceful-drain window: Enqueue refuses new work
+	// while every sequence already accepted (running and waiting) finishes
+	// normally. The row uses it for operator-style maintenance windows and
+	// for the watchdog's serve-mode degradation.
+	draining bool
+
 	stats  Stats
 	lastHW float64 // last traced high-water fraction
 
@@ -431,11 +437,19 @@ func (r *Replica) newSeqTrace(now sim.Time) *seqTrace {
 	return t
 }
 
+// SetDraining switches the replica's graceful-drain mode: while draining
+// it refuses new admissions but lets accepted work finish. Idempotent.
+func (r *Replica) SetDraining(v bool) { r.draining = v }
+
+// Draining reports whether the replica is in graceful-drain mode.
+func (r *Replica) Draining() bool { return r.draining }
+
 // Enqueue accepts a request into the waiting queue, kicking the iteration
 // loop if the replica was idle. It returns false when the queue is at
-// capacity (the caller sheds the request).
+// capacity or the replica is draining (the caller sheds or fails the
+// request over).
 func (r *Replica) Enqueue(now sim.Time, req workload.Request) bool {
-	if r.waiting.Len() >= r.cfg.QueueCap {
+	if r.draining || r.waiting.Len() >= r.cfg.QueueCap {
 		r.stats.Dropped++
 		return false
 	}
@@ -471,6 +485,24 @@ func (r *Replica) Fail(now sim.Time) {
 			perTokJ := partialJ * r.scale / float64(totalToks)
 			for _, s := range r.running {
 				s.energyJ += perTokJ * float64(s.chunk+s.steps)
+				// The cancelled iteration still gets a child span, so the
+				// span tree's children sum to the root attribution even
+				// across a node death.
+				if s.tr != nil && s.chunk+s.steps > 0 {
+					kind := obs.SpanDecode
+					toks := s.steps
+					if s.chunk > 0 {
+						kind = obs.SpanPrefill
+						toks = s.chunk
+					}
+					r.flushDecodeSpan(s)
+					sp := r.spanBase(s, kind)
+					sp.Start, sp.End = r.iterStart, now
+					sp.Tokens = int32(toks)
+					sp.Recompute = kind == obs.SpanPrefill && s.preempts > 0
+					sp.EnergyJ = perTokJ * float64(s.chunk+s.steps)
+					r.spans.Emit(sp)
+				}
 			}
 		}
 	}
@@ -1203,6 +1235,7 @@ func (r *Replica) spanBase(s *Seq, kind obs.SpanKind) obs.Span {
 	return obs.Span{
 		Req: s.Req.ID, ID: s.tr.childID(), Parent: 1, Kind: kind,
 		Server: int32(r.idx), Pool: r.pool, Class: s.Req.Class,
+		Retry: int32(s.Req.Retry),
 	}
 }
 
@@ -1280,6 +1313,7 @@ func (r *Replica) emitRootSpan(s *Seq, now sim.Time, reason string) {
 		EnergyJ:  s.energyJ, CapSec: s.capSec, CapJ: s.capJ,
 		TTFTSec: s.TTFTSeconds(),
 		Reason:  reason,
+		Retry:   int32(s.Req.Retry),
 	})
 	r.trFree = append(r.trFree, s.tr)
 	s.tr = nil

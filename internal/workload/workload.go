@@ -77,6 +77,11 @@ type Request struct {
 	Arrival  time.Duration // virtual time of arrival
 	Input    int           // prompt tokens
 	Output   int           // tokens to generate
+	// Retry counts how many times the request has re-entered the router
+	// through the serve-mode failover path (0 on first admission). Tokens
+	// generated before a failed attempt are discarded and recomputed, so a
+	// retried request is indistinguishable from a fresh one below routing.
+	Retry int
 }
 
 // Validate reports whether the class table is internally consistent.
