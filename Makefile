@@ -5,7 +5,7 @@ GO ?= go
 # benchmark smoke, schema validation of the committed BENCH_*.json
 # trajectory, a chaos smoke run, and a fault-spec fuzz smoke.
 .PHONY: ci
-ci: vet staticcheck rand-audit build test bench-smoke bench-check chaos chaos-serve fuzz-smoke
+ci: vet staticcheck rand-audit build test bench-smoke bench-check chaos chaos-serve fuzz-smoke scenarios
 
 .PHONY: vet
 vet:
@@ -29,7 +29,7 @@ staticcheck:
 .PHONY: rand-audit
 rand-audit:
 	@offenders=$$(grep -rn 'rand\.New\|rand\.NewSource' \
-		--include='*.go' internal/workload internal/serve \
+		--include='*.go' internal/workload internal/serve internal/scenario \
 		| grep -v _test.go; true); \
 	if [ -n "$$offenders" ]; then \
 		echo "rand-audit: direct RNG construction in engine-seeded packages:"; \
@@ -55,13 +55,14 @@ test:
 # 16-server day and needs its own -benchtime. BENCH_REQUIRE lists every
 # name; polca-bench -require fails the target if any stops matching, so a
 # renamed benchmark can never silently drop out of the smoke.
-BENCH_MICRO = ^(BenchmarkEngineEvents|BenchmarkQueuePushPop|BenchmarkTimerStop|BenchmarkTracerDisabled|BenchmarkTracerEnabled|BenchmarkServeTracerDisabled|BenchmarkSpanTracerDisabled|BenchmarkQuantileSketch|BenchmarkScheduler|BenchmarkTSDBIngest|BenchmarkRuleEval|BenchmarkRetryQueue)$$
-BENCH_REQUIRE = BenchmarkEngineEvents,BenchmarkQueuePushPop,BenchmarkTimerStop,BenchmarkTracerDisabled,BenchmarkTracerEnabled,BenchmarkServeTracerDisabled,BenchmarkSpanTracerDisabled,BenchmarkQuantileSketch,BenchmarkScheduler,BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue,BenchmarkServeDay
-# The telemetry ingest, rule-evaluation, and failover-requeue ticks run
-# inside the simulator's hot loop; -zero-alloc hard-fails the build the
-# moment any of them allocates, with no baseline artifact needed.
-BENCH_ZERO_ALLOC = BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue
-BENCH_PKGS = . ./internal/serve ./internal/obs ./internal/cluster
+BENCH_MICRO = ^(BenchmarkEngineEvents|BenchmarkQueuePushPop|BenchmarkTimerStop|BenchmarkTracerDisabled|BenchmarkTracerEnabled|BenchmarkServeTracerDisabled|BenchmarkSpanTracerDisabled|BenchmarkQuantileSketch|BenchmarkScheduler|BenchmarkTSDBIngest|BenchmarkRuleEval|BenchmarkRetryQueue|BenchmarkScenarioSample)$$
+BENCH_REQUIRE = BenchmarkEngineEvents,BenchmarkQueuePushPop,BenchmarkTimerStop,BenchmarkTracerDisabled,BenchmarkTracerEnabled,BenchmarkServeTracerDisabled,BenchmarkSpanTracerDisabled,BenchmarkQuantileSketch,BenchmarkScheduler,BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue,BenchmarkScenarioSample,BenchmarkServeDay
+# The telemetry ingest, rule-evaluation, failover-requeue, and scenario
+# request-generation ticks run inside the simulator's hot loop; -zero-alloc
+# hard-fails the build the moment any of them allocates, with no baseline
+# artifact needed.
+BENCH_ZERO_ALLOC = BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue,BenchmarkScenarioSample
+BENCH_PKGS = . ./internal/serve ./internal/obs ./internal/cluster ./internal/scenario
 
 # bench-smoke runs the hot-path set briefly — enough to catch an allocation
 # regression on the event path, the disabled observability fast paths, the
@@ -136,11 +137,21 @@ chaos-serve:
 		-guard -watchdog 5 -oob-retries 8 -oob-backoff 4s -drop-stale \
 		-retries 3 -retry-backoff 4s -class-shed -circuit-sheds 10 -watchdog-drain
 
-# fuzz-smoke runs the fault-spec parser fuzzer briefly: round-trip and
-# never-panic properties over the DSL grammar.
+# fuzz-smoke runs the DSL parser fuzzers briefly: round-trip and
+# never-panic properties over the faults and scenario grammars.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFaultSpec -fuzztime 10s ./internal/faults
+	$(GO) test -run '^$$' -fuzz FuzzScenarioSpec -fuzztime 10s ./internal/scenario
+
+# scenarios regenerates the committed scenarios/*.scn files from the builtin
+# library and verifies the two are in lockstep (plus the canonical
+# round-trip of every file). Run it after editing a builtin in
+# internal/scenario/library.go.
+.PHONY: scenarios
+scenarios:
+	$(GO) run ./internal/scenario/gen
+	$(GO) test -run 'TestLibraryFilesMatchBuiltins|TestBuiltinsAreCanonical' ./internal/scenario
 
 # cover writes a coverage profile across all packages and prints the
 # per-function tail plus the total.

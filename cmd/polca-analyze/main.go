@@ -7,8 +7,16 @@
 //
 // Usage:
 //
-//	polca-analyze [-top 10] spans.jsonl
+//	polca-analyze [-top 10] [-ttft-slo 15s] spans.jsonl
 //	polca-analyze -alerts [-top 10] trace.jsonl
+//
+// The per-class table reports SLO attainment — the fraction of each class's
+// requests whose first token arrived within -ttft-slo (default 15s, the
+// simulator's TTFT SLO) — followed by the Jain fairness index of those
+// per-class attainment fractions: 1.0 means every class meets its SLO
+// equally often, lower means the misses concentrate on a few classes.
+// Scenario traces (polca-sim -scenario) additionally get a session summary,
+// since their spans carry multi-turn session ids.
 //
 // With -alerts the input is instead the event trace written by `polca-sim
 // -trace`, and the report reconstructs the rules engine's alert episodes
@@ -45,6 +53,7 @@ func cli(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("polca-analyze", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	top := fs.Int("top", 10, "rows in the top-K slowest/most-expensive tables")
+	ttftSLO := fs.Duration("ttft-slo", 15*time.Second, "TTFT SLO threshold for the per-class attainment column")
 	alerts := fs.Bool("alerts", false, "analyze an event trace's alert.fire/alert.resolve stream instead of spans")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,7 +68,9 @@ func cli(args []string, out, errw io.Writer) int {
 		return 1
 	}
 	defer f.Close()
-	analyze := Analyze
+	analyze := func(r io.Reader, top int) (string, error) {
+		return AnalyzeSLO(r, top, ttftSLO.Seconds())
+	}
 	if *alerts {
 		analyze = AnalyzeAlerts
 	}
@@ -125,11 +136,17 @@ func (r *request) capSec() float64  { return r.root.CapSec + r.attemptCapSec }
 func (r *request) capJ() float64    { return r.root.CapJ + r.attemptCapJ }
 func (r *request) tokens() int64    { return int64(r.root.Tokens) + int64(r.attemptTokens) }
 
-// Analyze reads span JSONL in one streaming pass and renders the offline
-// report. Spans fold into per-request aggregates as they arrive, so memory
-// is proportional to the number of requests (plus any children whose root
-// has not arrived yet), never to the span count or the file size.
+// Analyze is AnalyzeSLO at the simulator's default 15 s TTFT SLO.
 func Analyze(r io.Reader, top int) (string, error) {
+	return AnalyzeSLO(r, top, 15)
+}
+
+// AnalyzeSLO reads span JSONL in one streaming pass and renders the offline
+// report, judging per-class SLO attainment against sloSec. Spans fold into
+// per-request aggregates as they arrive, so memory is proportional to the
+// number of requests (plus any children whose root has not arrived yet),
+// never to the span count or the file size.
+func AnalyzeSLO(r io.Reader, top int, sloSec float64) (string, error) {
 	f := newFolder()
 	var header []string
 	err := obs.ScanSpans(r, func(line string) { header = append(header, line) }, f.add)
@@ -153,7 +170,7 @@ func Analyze(r io.Reader, top int) (string, error) {
 	}
 	writeOverview(&b, reqs)
 	writeCriticalPath(&b, reqs)
-	writeClassTable(&b, reqs)
+	writeClassTable(&b, reqs, sloSec)
 	writeTopK(&b, reqs, top)
 	return b.String(), nil
 }
@@ -301,6 +318,21 @@ func writeOverview(b *strings.Builder, reqs []*request) {
 	}
 	fmt.Fprintf(b, "Requests: %d (%d completed, %d dropped, %d preempted at least once)\n",
 		len(reqs), completed, dropped, preempted)
+	// Scenario traces carry session ids on their root spans; legacy traces
+	// have none, and then the line is suppressed so old reports reproduce.
+	sessions := map[int64]bool{}
+	maxTurn := int32(0)
+	for _, r := range reqs {
+		if r.root.Session != 0 {
+			sessions[r.root.Session] = true
+			if r.root.Turn > maxTurn {
+				maxTurn = r.root.Turn
+			}
+		}
+	}
+	if len(sessions) > 0 {
+		fmt.Fprintf(b, "Sessions: %d multi-turn sessions (deepest turn %d)\n", len(sessions), maxTurn)
+	}
 	if attempts > 0 {
 		fmt.Fprintf(b, "Failover: %d retried attempts across %d requests\n", attempts, retriedReqs)
 	}
@@ -368,11 +400,12 @@ func writeCriticalPath(b *strings.Builder, reqs []*request) {
 	fmt.Fprintln(b)
 }
 
-func writeClassTable(b *strings.Builder, reqs []*request) {
+func writeClassTable(b *strings.Builder, reqs []*request, sloSec float64) {
 	type agg struct {
 		ttft, lat, energy []float64
 		capSec            float64
 		tokens            int64
+		sloOK             int
 	}
 	classes := map[string]*agg{}
 	var names []string
@@ -389,6 +422,9 @@ func writeClassTable(b *strings.Builder, reqs []*request) {
 		}
 		if r.root.TTFTSec >= 0 {
 			a.ttft = append(a.ttft, r.root.TTFTSec)
+			if r.root.TTFTSec <= sloSec {
+				a.sloOK++
+			}
 		}
 		a.lat = append(a.lat, r.latencySec())
 		a.energy = append(a.energy, r.energyJ())
@@ -396,23 +432,28 @@ func writeClassTable(b *strings.Builder, reqs []*request) {
 		a.tokens += r.tokens()
 	}
 	sort.Strings(names)
-	fmt.Fprintf(b, "Per-class latency and energy (exact percentiles over the trace):\n")
-	fmt.Fprintf(b, "%-12s %6s %9s %9s %9s %9s %10s %10s %9s %9s\n",
-		"Class", "reqs", "TTFT p50", "TTFT p99", "lat p50", "lat p99", "J p50", "J p99", "J/token", "cap (s)")
+	fmt.Fprintf(b, "Per-class latency and energy (exact percentiles over the trace; SLO = TTFT <= %gs):\n", sloSec)
+	fmt.Fprintf(b, "%-12s %6s %9s %9s %8s %9s %9s %10s %10s %9s %9s\n",
+		"Class", "reqs", "TTFT p50", "TTFT p99", "attain", "lat p50", "lat p99", "J p50", "J p99", "J/token", "cap (s)")
+	var attain []float64
 	for _, name := range names {
 		a := classes[name]
 		jPerTok := 0.0
 		if a.tokens > 0 {
 			jPerTok = stats.Sum(a.energy) / float64(a.tokens)
 		}
-		fmt.Fprintf(b, "%-12s %6d %9.3f %9.3f %9.2f %9.2f %10.1f %10.1f %9.1f %9.1f\n",
+		// Attainment over every request of the class: a request that never
+		// produced a first token (dropped, shed) is an SLO miss.
+		frac := float64(a.sloOK) / float64(len(a.lat))
+		attain = append(attain, frac)
+		fmt.Fprintf(b, "%-12s %6d %9.3f %9.3f %7.1f%% %9.2f %9.2f %10.1f %10.1f %9.1f %9.1f\n",
 			name, len(a.lat),
-			stats.Percentile(a.ttft, 50), stats.Percentile(a.ttft, 99),
+			stats.Percentile(a.ttft, 50), stats.Percentile(a.ttft, 99), frac*100,
 			stats.Percentile(a.lat, 50), stats.Percentile(a.lat, 99),
 			stats.Percentile(a.energy, 50), stats.Percentile(a.energy, 99),
 			jPerTok, a.capSec)
 	}
-	fmt.Fprintln(b)
+	fmt.Fprintf(b, "Jain fairness of SLO attainment across classes: %.3f\n\n", stats.Jain(attain))
 }
 
 func writeTopK(b *strings.Builder, reqs []*request, top int) {

@@ -4,7 +4,7 @@
 //
 //	polca-experiments [-quick] [-seed N] [-eval-days N] [-sweep-days N]
 //	                  [-servers N] [-parallel N] [-only id1,id2] [-list]
-//	                  [-faults SPEC] [-v] [-http :6060]
+//	                  [-faults SPEC] [-scenario NAME|FILE] [-v] [-http :6060]
 //
 // Without -only it runs every registered experiment in paper order and
 // prints the reproduced rows. -quick scales horizons down for a fast pass.
@@ -14,6 +14,9 @@
 // /debug/pprof while the suite runs. Neither perturbs results. -faults
 // overrides the figfault experiment's built-in chaos scenario with a
 // faults-package DSL spec; every other experiment runs fault-free.
+// -scenario restricts the figscenario experiment to one workload scenario
+// (a builtin name or a .scn file) instead of sweeping the committed
+// library; every other experiment keeps the Table 6 mix.
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 	checkInsights := flag.Bool("insights", false, "verify the paper's nine insights and exit")
 	outDir := flag.String("out", "", "also write each experiment's data as JSON into this directory")
 	faultSpec := flag.String("faults", "", "override the figfault chaos scenario (faults package DSL)")
+	scenFlag := flag.String("scenario", "", "restrict figscenario to one workload scenario (builtin name or .scn file)")
 	verbose := flag.Bool("v", false, "log each sweep grid point as it completes")
 	httpAddr := flag.String("http", "", "serve live /metrics, /progress, and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
@@ -83,6 +87,7 @@ func main() {
 	}
 	opts.Parallel = *parallel
 	opts.Faults = *faultSpec
+	opts.Scenario = *scenFlag
 
 	if *verbose || *httpAddr != "" {
 		opts.Obs = &obs.Observer{Metrics: obs.NewRegistry()}

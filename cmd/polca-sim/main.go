@@ -6,6 +6,7 @@
 //	polca-sim [-policy polca|1tl|1ta|nocap] [-added 0.30] [-days 7]
 //	          [-servers 40] [-intensity 1.0] [-lp 0.5] [-seed 1]
 //	          [-t1 0.80] [-t2 0.89] [-csv out.csv] [-parallel N]
+//	          [-scenario NAME|FILE] [-scenario-scale X]
 //	          [-faults SPEC] [-guard] [-watchdog N]
 //	          [-oob-retries N] [-oob-backoff D] [-drop-stale]
 //	          [-serve] [-router round-robin|least-queue|least-kv|power-aware]
@@ -22,6 +23,19 @@
 // counters and per-class p99 TTFT (time-to-first-token) and TBT
 // (time-between-tokens) — the latencies that matter for interactive serving
 // and that the slot model cannot see.
+//
+// Scenarios: -scenario replaces the hardcoded Table 6 mix with a declarative
+// workload scenario — a builtin from the committed library (chatbot,
+// launch-day, ...; see scenarios/) or a .scn file in the scenario DSL. The
+// scenario's cohorts drive capacity planning (their analytic token moments
+// become the class table), admission priorities, and serve-mode shed ranks,
+// and the generator synthesizes the full request trace — heavy-tailed
+// arrivals, diurnal/ramp/spike rate shapes, burst overlays, shared-prefix
+// groups, and multi-turn sessions with growing context — on dedicated named
+// RNG streams, so runs are event-for-event deterministic. -scenario-scale
+// multiplies every cohort rate on top of the automatic servers/basis
+// scaling. In serve mode the report gains per-class SLO attainment and the
+// Jain fairness index across classes.
 //
 // Fault injection: -faults takes the faults package DSL (for example
 // "tdrop=0.05,crash=6h+20,oobburst=3h+15m,kill=2@8h+1h") and runs the same
@@ -97,6 +111,7 @@ import (
 	"polca/internal/faults"
 	"polca/internal/obs"
 	"polca/internal/polca"
+	"polca/internal/scenario"
 	"polca/internal/serve"
 	"polca/internal/sim"
 	"polca/internal/stats"
@@ -115,6 +130,8 @@ type runOpts struct {
 	faults       string // canonical DSL form, for reports and provenance
 	retrain      bool
 	reqs              []workload.Request // non-nil replays a recorded trace
+	scen              *scenario.Spec     // non-nil generates scenario traffic
+	scenScale         float64
 	csvPath           string
 	tracePath         string
 	perfettoPath      string
@@ -136,6 +153,8 @@ func main() {
 	t1 := flag.Float64("t1", 0.80, "POLCA T1 threshold")
 	t2 := flag.Float64("t2", 0.89, "POLCA T2 threshold")
 	csvPath := flag.String("csv", "", "write the utilization series to this CSV file")
+	scenFlag := flag.String("scenario", "", "generate traffic from a workload scenario: a builtin name ("+strings.Join(scenario.Names(), ", ")+") or a .scn file path")
+	scenScale := flag.Float64("scenario-scale", 1.0, "extra rate multiplier on the scenario's cohorts (on top of servers/basis scaling)")
 	faultSpec := flag.String("faults", "", "fault-injection scenario (faults package DSL, e.g. \"tdrop=0.05,crash=6h+20\")")
 	guard := flag.Bool("guard", false, "wrap the policy in the telemetry validity guard (filter + fail-safe cap)")
 	watchdog := flag.Int("watchdog", 0, "row deadman: self-cap after N silent controller epochs (0 = off)")
@@ -188,6 +207,29 @@ func main() {
 	cfg.ServeCircuitSheds = *circuitSheds
 	cfg.ServeCircuitCooldown = *circuitCooldown
 	cfg.WatchdogDrain = *watchdogDrain
+
+	var scen *scenario.Spec
+	if *scenFlag != "" {
+		if *replay != "" {
+			fmt.Fprintln(os.Stderr, "scenario: -scenario and -replay are mutually exclusive")
+			os.Exit(1)
+		}
+		s, err := scenario.Load(*scenFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scenario:", err)
+			os.Exit(1)
+		}
+		if *scenScale <= 0 {
+			fmt.Fprintln(os.Stderr, "scenario: -scenario-scale must be positive")
+			os.Exit(1)
+		}
+		scen = &s
+		// The cohorts' analytic token moments become the class table the
+		// capacity planner and admission control run on, and their SLO
+		// classes pin the serve-mode shed ranks.
+		cfg.Classes = scen.Classes()
+		cfg.ShedRanks = scen.ShedRanks()
+	}
 
 	policies := strings.Split(*policy, ",")
 	for i, p := range policies {
@@ -286,6 +328,7 @@ func main() {
 			policy: p, cfg: cfg, days: *days, seed: *seed,
 			t1: *t1, t2: *t2, guard: *guard, faults: spec.String(),
 			retrain: *retrain, reqs: reqs,
+			scen:    scen, scenScale: *scenScale,
 			csvPath:           policyCSVPath(*csvPath, p, len(policies) > 1),
 			tracePath:         policyCSVPath(*tracePath, p, len(policies) > 1),
 			perfettoPath:      policyCSVPath(*perfettoPath, p, len(policies) > 1),
@@ -375,7 +418,20 @@ func runOne(o runOpts) (string, error) {
 		return "", err
 	}
 	var m *cluster.Metrics
-	if o.reqs != nil {
+	if o.scen != nil {
+		// Scenario rates are calibrated for Basis servers; scale them to
+		// this row, times the explicit -scenario-scale multiplier. Each
+		// policy run generates on its own engine's named streams, so every
+		// arm of a sweep sees the identical request trace.
+		scale := float64(cfg.Servers()) / float64(o.scen.Basis) * o.scenScale
+		reqs, err := scenario.Generate(*o.scen, horizon, scale, eng.Rand)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "Scenario %s: %d cohorts, %d requests generated (rate scale %.2f)\n",
+			o.scen.Name, len(o.scen.Cohorts), len(reqs), scale)
+		m = row.RunRequests(reqs, horizon)
+	} else if o.reqs != nil {
 		fmt.Fprintf(&b, "Replaying %d requests\n", len(o.reqs))
 		m = row.RunRequests(o.reqs, horizon)
 	} else {
@@ -466,6 +522,25 @@ func runOne(o runOpts) (string, error) {
 				fmt.Fprintf(&b, "%-12s %10d %10d %10d %10.1f%%\n",
 					name, arrived, m.ClassShed[name], m.ClassSLOOK[name], goodput)
 			}
+		}
+		if o.scen != nil {
+			// Per-cohort SLO attainment (first token within the TTFT SLO,
+			// over first admissions) and the Jain index of those attainment
+			// fractions — 1.0 means every class meets its SLO equally often,
+			// lower means the pain concentrates on a few classes.
+			fmt.Fprintf(&b, "%-12s %-10s %10s %10s %10s\n", "Class", "slo", "arrived", "SLO ok", "attain %")
+			var attain []float64
+			for _, name := range workload.Names(cfg.Classes) {
+				arrived := m.ClassArrived[name]
+				if arrived == 0 {
+					continue
+				}
+				frac := float64(m.ClassSLOOK[name]) / float64(arrived)
+				attain = append(attain, frac)
+				fmt.Fprintf(&b, "%-12s %-10s %10d %10d %9.1f%%\n",
+					name, o.scen.SLOOf(name), arrived, m.ClassSLOOK[name], frac*100)
+			}
+			fmt.Fprintf(&b, "Jain fairness of SLO attainment across classes: %.3f\n", stats.Jain(attain))
 		}
 	}
 
@@ -565,6 +640,12 @@ func (o runOpts) provenance(policyName string) obs.Provenance {
 	}
 	if o.faults != "" {
 		p["faults"] = o.faults
+	}
+	if o.scen != nil {
+		p["scenario"] = o.scen.Name
+		if o.scenScale != 1 {
+			p["scenarioscale"] = o.scenScale
+		}
 	}
 	if o.guard {
 		p["guard"] = true

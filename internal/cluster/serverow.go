@@ -203,7 +203,11 @@ func (r *Row) initServe() error {
 	r.metrics.ClassArrived = map[string]int{}
 	r.metrics.ClassSLOOK = map[string]int{}
 	r.metrics.ClassShed = map[string]int{}
-	r.shedRanks = buildShedRanks(r.cfg.Classes)
+	if r.cfg.ShedRanks != nil {
+		r.shedRanks = r.cfg.ShedRanks
+	} else {
+		r.shedRanks = buildShedRanks(r.cfg.Classes)
+	}
 	r.retryPumpFn = r.retryPump
 	slo := r.cfg.TTFTSLO
 	if slo == 0 {

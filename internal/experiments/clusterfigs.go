@@ -9,6 +9,7 @@ import (
 	"polca/internal/faults"
 	"polca/internal/polca"
 	"polca/internal/render"
+	"polca/internal/scenario"
 	"polca/internal/serve"
 	"polca/internal/sim"
 	"polca/internal/stats"
@@ -60,6 +61,12 @@ type rowSpec struct {
 	serveClassShed    bool          // SLO-class-aware shedding under emergencies
 	serveCircuit      int           // per-replica circuit-breaker shed threshold
 	wdDrain           bool          // engaged watchdog drains serve replicas
+
+	// Scenario knob (figscenario): a workload scenario name or .scn path
+	// that replaces the fitted Table 6 arrivals with generated cohort
+	// traffic (classes, shed ranks, and the request trace all come from the
+	// scenario). "" keeps every other experiment on the legacy path.
+	scenario string
 }
 
 // buildController instantiates the policy named in the spec.
@@ -133,6 +140,31 @@ func runRowSpec(o Options, s rowSpec) (*cluster.Metrics, error) {
 	cfg.ServeClassShed = s.serveClassShed
 	cfg.ServeCircuitSheds = s.serveCircuit
 	cfg.WatchdogDrain = s.wdDrain
+
+	if s.scenario != "" {
+		spec, err := scenario.Load(s.scenario)
+		if err != nil {
+			return nil, err
+		}
+		// The cohorts' analytic moments become the class table admission
+		// plans on, and their SLO classes pin the serve-mode shed ranks.
+		cfg.Classes = spec.Classes()
+		cfg.ShedRanks = spec.ShedRanks()
+		eng := sim.New(o.Seed)
+		eng.SetObserver(o.Obs.MetricsOnly())
+		row, err := cluster.NewRow(eng, cfg, buildController(s))
+		if err != nil {
+			return nil, err
+		}
+		horizon := horizonFromDays(s.days)
+		// Generation draws on the engine's named scenario streams, so every
+		// policy arm of a sweep sees the identical request trace.
+		reqs, err := scenario.Generate(spec, horizon, float64(cfg.Servers())/float64(spec.Basis), eng.Rand)
+		if err != nil {
+			return nil, err
+		}
+		return row.RunRequests(reqs, horizon), nil
+	}
 
 	// The trace is fitted against the *profiled* workload (intensity 1):
 	// POLCA's operators sized the policy before workloads drifted.

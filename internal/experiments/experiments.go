@@ -51,6 +51,12 @@ type Options struct {
 	// intensity-1 chaos scenario with this faults-package DSL spec. Other
 	// experiments ignore it: the paper figures run fault-free.
 	Faults string
+
+	// Scenario, when non-empty, restricts the figscenario experiment to one
+	// workload scenario (a builtin name or a .scn file path) instead of
+	// sweeping the committed library. Other experiments ignore it: the
+	// paper figures run the Table 6 mix.
+	Scenario string
 }
 
 // DefaultOptions mirrors the paper's evaluation scale.

@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-dtype", "ext-phase", "ext-split", "ext-aware", "ext-swing",
 		"ext-hysteresis", "ext-oob", "ext-batch", "ext-seeds", "ext-h100",
 		"ext-train-oversub", "ext-ladder", "figfault", "figserve",
-		"figservefault",
+		"figservefault", "figscenario",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

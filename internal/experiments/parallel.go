@@ -51,6 +51,9 @@ func specLabel(s rowSpec) string {
 	if s.wdDrain {
 		l += " wddrain"
 	}
+	if s.scenario != "" {
+		l += " scen=" + s.scenario
+	}
 	return l
 }
 

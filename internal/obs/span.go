@@ -108,6 +108,12 @@ type Span struct {
 	// (0 = first admission); the analyzer uses it to fold multiple root
 	// spans of one failed-over request into a single outcome.
 	Retry int32
+	// Session groups the root spans of one scenario multi-turn session
+	// (0 = no session structure); Turn is the request's 1-based position
+	// in it. Both are omitted from the wire format when zero, so legacy
+	// traffic produces unchanged output.
+	Session int64
+	Turn    int32
 }
 
 // SpanTracer records request spans. Like Tracer, it is safe for concurrent
@@ -237,6 +243,14 @@ func appendSpanJSON(b []byte, sp Span) []byte {
 	if sp.Retry != 0 {
 		b = append(b, `,"retry":`...)
 		b = strconv.AppendInt(b, int64(sp.Retry), 10)
+	}
+	if sp.Session != 0 {
+		b = append(b, `,"session":`...)
+		b = strconv.AppendInt(b, sp.Session, 10)
+	}
+	if sp.Turn != 0 {
+		b = append(b, `,"turn":`...)
+		b = strconv.AppendInt(b, int64(sp.Turn), 10)
 	}
 	return append(b, '}')
 }
@@ -384,6 +398,8 @@ type spanJSON struct {
 	TTFTSec   float64 `json:"ttft_s"`
 	Reason    string  `json:"reason"`
 	Retry     int32   `json:"retry"`
+	Session   int64   `json:"session"`
+	Turn      int32   `json:"turn"`
 }
 
 // scanSpansMaxLine bounds one JSONL line. Span lines are a few hundred
@@ -466,6 +482,8 @@ func parseSpanLine(raw []byte) (Span, error) {
 		TTFTSec:   sj.TTFTSec,
 		Reason:    sj.Reason,
 		Retry:     sj.Retry,
+		Session:   sj.Session,
+		Turn:      sj.Turn,
 	}, nil
 }
 

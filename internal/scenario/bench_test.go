@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"polca/internal/sim"
+)
+
+// BenchmarkScenarioSample measures the generator's steady-state Next()
+// path — rate-plan walk, renewal gap, token draws, and the pending-turn
+// heap — which sits upstream of the simulator's arrival loop. It must not
+// allocate per request (polca-bench -zero-alloc gates it): the turn heap
+// reuses its backing array and every draw is a value operation.
+func BenchmarkScenarioSample(b *testing.B) {
+	spec := Spec{
+		Name: "bench", Basis: 16,
+		Cohorts: []Cohort{
+			{
+				Name: "chat", SLO: Standard, Rate: 6,
+				Arrivals: Arrivals{Kind: ArrGamma, Shape: 0.5},
+				Shape:    RateShape{Kind: ShapeDiurnal, Peak: 14 * time.Hour, Amp: 0.4},
+				Prompt:   TokenDist{Kind: DistLogNormal, A: 360, B: 0.7},
+				Output:   TokenDist{Kind: DistLogNormal, A: 180, B: 0.6},
+				Sessions: &Sessions{Turns: 4, Think: 45 * time.Second, Grow: 0.7},
+				Prefix:   &Prefix{Groups: 8, Tokens: 64},
+			},
+			{
+				Name: "batch", SLO: Batch, Rate: 4,
+				Arrivals: Arrivals{Kind: ArrWeibull, Shape: 0.7},
+				Prompt:   TokenDist{Kind: DistPoint, A: 2000},
+				Output:   TokenDist{Kind: DistUniform, A: 200, B: 400},
+			},
+		},
+	}
+	gen, err := NewGenerator(spec, 90*24*time.Hour, 1, sim.New(1).Rand)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := gen.Next(); !ok {
+			b.Fatal("generator exhausted; raise the bench horizon")
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// TokenDist is a token-length distribution for prompts or outputs. Unlike
+// the uniform ranges hardcoded in workload.Class, scenario cohorts may use
+// heavy-tailed lognormal lengths (real chat traffic) or point masses
+// (fixed-template batch jobs). Every kind exposes a closed-form Mean so
+// trace.FitArrivals-style service-time estimation stays exact under
+// scenarios (the workload surrogate classes are built from these moments).
+type TokenDist struct {
+	Kind DistKind
+	// A, B are kind-specific parameters:
+	//   uniform(lo,hi): A=lo, B=hi (inclusive, sampled uniformly)
+	//   logn(median,sigma): A=median (= exp(mu)), B=sigma of log
+	//   point(n): A=n
+	A, B float64
+}
+
+// DistKind enumerates token-length distribution families.
+type DistKind int
+
+const (
+	DistUniform DistKind = iota
+	DistLogNormal
+	DistPoint
+)
+
+// Mean returns the exact expected token count.
+func (d TokenDist) Mean() float64 {
+	switch d.Kind {
+	case DistLogNormal:
+		// Lognormal parameterized by median m and log-sigma s:
+		// E[X] = m * exp(s^2 / 2).
+		return d.A * math.Exp(d.B*d.B/2)
+	case DistPoint:
+		return d.A
+	default:
+		return (d.A + d.B) / 2
+	}
+}
+
+// Sample draws one token count (always >= 1).
+func (d TokenDist) Sample(rng *rand.Rand) int {
+	var x float64
+	switch d.Kind {
+	case DistLogNormal:
+		x = d.A * math.Exp(d.B*rng.NormFloat64())
+	case DistPoint:
+		x = d.A
+	default:
+		lo, hi := int(d.A), int(d.B)
+		return lo + rng.Intn(hi-lo+1)
+	}
+	n := int(math.Round(x))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (d TokenDist) validate(field string) error {
+	switch d.Kind {
+	case DistUniform:
+		if d.A < 1 || d.B < d.A || d.A != math.Trunc(d.A) || d.B != math.Trunc(d.B) {
+			return fmt.Errorf("scenario: %s: bad uniform range [%v,%v]", field, d.A, d.B)
+		}
+	case DistLogNormal:
+		if d.A < 1 || d.B <= 0 || d.B > 3 {
+			return fmt.Errorf("scenario: %s: bad lognormal(median=%v,sigma=%v)", field, d.A, d.B)
+		}
+	case DistPoint:
+		if d.A < 1 || d.A != math.Trunc(d.A) {
+			return fmt.Errorf("scenario: %s: bad point mass %v", field, d.A)
+		}
+	default:
+		return fmt.Errorf("scenario: %s: unknown distribution kind %d", field, d.Kind)
+	}
+	return nil
+}
+
+// String renders the canonical DSL form.
+func (d TokenDist) String() string {
+	switch d.Kind {
+	case DistLogNormal:
+		return fmt.Sprintf("logn(%s,%s)", trimFloat(d.A), trimFloat(d.B))
+	case DistPoint:
+		return fmt.Sprintf("point(%s)", trimFloat(d.A))
+	default:
+		return fmt.Sprintf("uniform(%s,%s)", trimFloat(d.A), trimFloat(d.B))
+	}
+}
+
+// Arrivals selects the renewal process generating a cohort's inter-arrival
+// gaps. All processes are normalized to unit mean so the piecewise rate
+// plan sets the intensity; the shape parameter sets the burstiness
+// (coefficient of variation) around it.
+type Arrivals struct {
+	Kind ArrKind
+	// Shape is the gamma/weibull shape parameter k (unused for Poisson).
+	// k < 1 means heavier-than-exponential tails (bursty); large k means
+	// smoothed, front-door-balanced traffic (gamma(32) ~ the Erlang-32
+	// smoothing the legacy trace fit uses).
+	Shape float64
+}
+
+// ArrKind enumerates arrival process families.
+type ArrKind int
+
+const (
+	ArrPoisson ArrKind = iota
+	ArrGamma
+	ArrWeibull
+)
+
+// CV returns the coefficient of variation of the inter-arrival gaps: 1 for
+// Poisson, 1/sqrt(k) for gamma, and the closed-form Weibull ratio. The
+// statistical tests pin generated traffic against these values.
+func (a Arrivals) CV() float64 {
+	switch a.Kind {
+	case ArrGamma:
+		return 1 / math.Sqrt(a.Shape)
+	case ArrWeibull:
+		g1 := math.Gamma(1 + 1/a.Shape)
+		g2 := math.Gamma(1 + 2/a.Shape)
+		return math.Sqrt(g2/(g1*g1) - 1)
+	default:
+		return 1
+	}
+}
+
+// Gap returns the unit-mean inter-arrival sampler plugged into
+// trace.RatePlan.Gap, or nil for Poisson (the plan's native Exp(1) path).
+func (a Arrivals) Gap() func(*rand.Rand) float64 {
+	switch a.Kind {
+	case ArrGamma:
+		k := a.Shape
+		return func(rng *rand.Rand) float64 { return gammaUnitMean(k, rng) }
+	case ArrWeibull:
+		k := a.Shape
+		scale := 1 / math.Gamma(1+1/k)
+		return func(rng *rand.Rand) float64 {
+			return scale * math.Pow(rng.ExpFloat64(), 1/k)
+		}
+	default:
+		return nil
+	}
+}
+
+// gammaUnitMean draws from Gamma(k, 1/k) (mean 1) via Marsaglia-Tsang,
+// with the standard k < 1 boost Gamma(k) = Gamma(k+1) * U^(1/k).
+func gammaUnitMean(k float64, rng *rand.Rand) float64 {
+	boost := 1.0
+	shape := k
+	if shape < 1 {
+		boost = math.Pow(rng.Float64(), 1/shape)
+		shape++
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x || math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * boost / k
+		}
+	}
+}
+
+func (a Arrivals) validate() error {
+	switch a.Kind {
+	case ArrPoisson:
+	case ArrGamma, ArrWeibull:
+		if a.Shape <= 0.05 || a.Shape > 256 {
+			return fmt.Errorf("scenario: arrival shape %v outside (0.05,256]", a.Shape)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown arrival kind %d", a.Kind)
+	}
+	return nil
+}
+
+// String renders the canonical DSL form.
+func (a Arrivals) String() string {
+	switch a.Kind {
+	case ArrGamma:
+		return fmt.Sprintf("gamma(%s)", trimFloat(a.Shape))
+	case ArrWeibull:
+		return fmt.Sprintf("weibull(%s)", trimFloat(a.Shape))
+	default:
+		return "poisson"
+	}
+}
+
+// Burst overlays heavy-load episodes on a cohort's rate: episode starts
+// follow a Poisson process (mean Gap between the end of one episode and
+// the start of the next), each lasts Dur, and multiplies the rate by X
+// while active. Episodes are drawn on the cohort's dedicated burst stream
+// so they stay identical across policy reruns.
+type Burst struct {
+	Gap time.Duration
+	Dur time.Duration
+	X   float64
+}
+
+func (b Burst) validate() error {
+	switch {
+	case b.Gap <= 0 || b.Dur <= 0:
+		return fmt.Errorf("scenario: burst gap/dur must be positive")
+	case b.X <= 1 || b.X > 100:
+		return fmt.Errorf("scenario: burst multiplier %v outside (1,100]", b.X)
+	}
+	return nil
+}
+
+// String renders the canonical DSL form.
+func (b Burst) String() string {
+	return fmt.Sprintf("(gap=%s,dur=%s,x=%s)", trimDur(b.Gap), trimDur(b.Dur), trimFloat(b.X))
+}
+
+// RateShape modulates a cohort's mean rate over the run: flat, a diurnal
+// sine with a regional offset, a launch-day ramp to a new plateau, or a
+// one-off spike with exponential decay.
+type RateShape struct {
+	Kind ShapeKind
+	// Diurnal: Peak is the local hour-of-day of maximum load (as a
+	// duration into the day), Amp the relative amplitude, Offset a
+	// regional timezone shift applied to the clock.
+	Peak   time.Duration
+	Amp    float64
+	Offset time.Duration
+	// Ramp: rate climbs linearly from 1x to X between At and At+Over and
+	// stays there. Spike: rate climbs to X over Rise starting at At, then
+	// decays back exponentially with time constant Fall.
+	At   time.Duration
+	Over time.Duration
+	Rise time.Duration
+	Fall time.Duration
+	X    float64
+}
+
+// ShapeKind enumerates rate-shape families.
+type ShapeKind int
+
+const (
+	ShapeFlat ShapeKind = iota
+	ShapeDiurnal
+	ShapeRamp
+	ShapeSpike
+)
+
+// Factor returns the rate multiplier at time t (>= 0, mean 1 over whole
+// days for flat and diurnal shapes).
+func (s RateShape) Factor(t time.Duration) float64 {
+	switch s.Kind {
+	case ShapeDiurnal:
+		// Same phase convention as trace.DiurnalModel.MeanAt: the sine
+		// peaks when the (offset-shifted) local hour equals Peak.
+		hours := (t + s.Offset).Seconds() / 3600
+		return 1 + s.Amp*math.Sin(2*math.Pi*(hours-s.Peak.Hours()+6)/24)
+	case ShapeRamp:
+		switch {
+		case t <= s.At:
+			return 1
+		case s.Over <= 0 || t >= s.At+s.Over:
+			return s.X
+		default:
+			return 1 + (s.X-1)*float64(t-s.At)/float64(s.Over)
+		}
+	case ShapeSpike:
+		switch {
+		case t <= s.At:
+			return 1
+		case t < s.At+s.Rise:
+			return 1 + (s.X-1)*float64(t-s.At)/float64(s.Rise)
+		default:
+			return 1 + (s.X-1)*math.Exp(-float64(t-s.At-s.Rise)/float64(s.Fall))
+		}
+	default:
+		return 1
+	}
+}
+
+func (s RateShape) validate() error {
+	switch s.Kind {
+	case ShapeFlat:
+	case ShapeDiurnal:
+		if s.Amp < 0 || s.Amp > 0.95 {
+			return fmt.Errorf("scenario: diurnal amplitude %v outside [0,0.95]", s.Amp)
+		}
+		if s.Peak < 0 || s.Peak >= 24*time.Hour {
+			return fmt.Errorf("scenario: diurnal peak %s outside [0,24h)", s.Peak)
+		}
+	case ShapeRamp:
+		if s.X <= 0 || s.X > 100 {
+			return fmt.Errorf("scenario: ramp multiplier %v outside (0,100]", s.X)
+		}
+		if s.At < 0 || s.Over < 0 {
+			return fmt.Errorf("scenario: negative ramp timing")
+		}
+	case ShapeSpike:
+		if s.X <= 1 || s.X > 100 {
+			return fmt.Errorf("scenario: spike multiplier %v outside (1,100]", s.X)
+		}
+		if s.At < 0 || s.Rise <= 0 || s.Fall <= 0 {
+			return fmt.Errorf("scenario: bad spike timing")
+		}
+	default:
+		return fmt.Errorf("scenario: unknown shape kind %d", s.Kind)
+	}
+	return nil
+}
+
+// String renders the canonical DSL form.
+func (s RateShape) String() string {
+	switch s.Kind {
+	case ShapeDiurnal:
+		out := fmt.Sprintf("diurnal(peak=%s,amp=%s", trimDur(s.Peak), trimFloat(s.Amp))
+		if s.Offset != 0 {
+			out += ",offset=" + trimDur(s.Offset)
+		}
+		return out + ")"
+	case ShapeRamp:
+		return fmt.Sprintf("ramp(at=%s,over=%s,x=%s)", trimDur(s.At), trimDur(s.Over), trimFloat(s.X))
+	case ShapeSpike:
+		return fmt.Sprintf("spike(at=%s,x=%s,rise=%s,fall=%s)", trimDur(s.At), trimFloat(s.X), trimDur(s.Rise), trimDur(s.Fall))
+	default:
+		return "flat"
+	}
+}

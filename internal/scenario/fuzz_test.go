@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioSpec fuzzes the DSL parser with the same two properties the
+// faults-spec fuzzer pins: Parse never panics, and any input it accepts
+// round-trips through the canonical form — Parse(String(spec)) succeeds,
+// reproduces the spec, and String is a fixed point.
+func FuzzScenarioSpec(f *testing.F) {
+	for _, name := range Names() {
+		src, _ := BuiltinSource(name)
+		f.Add(src)
+	}
+	f.Add("scenario x\ncohort a rate=1 prompt=point(10) output=point(10)\n")
+	f.Add("scenario x\nbasis 4\n# c\ncohort a slo=batch rate=0.5 arrivals=weibull(0.7) burst=(gap=1h,dur=5m,x=3) shape=spike(at=2h,x=4,rise=5m,fall=30m) prompt=uniform(10,20) output=logn(50,0.5) sessions=(turns=2,think=5s,grow=0.5) prefix=(groups=2,tokens=16)\n")
+	f.Add("scenario é\ncohort a rate=1e3 prompt=point(1) output=point(1)\n")
+	f.Add("cohort before header\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round trip changed spec:\n%s", canon)
+		}
+		if canon2 := again.String(); canon2 != canon {
+			t.Fatalf("canonical form not a fixed point:\n%q\n%q", canon, canon2)
+		}
+	})
+}

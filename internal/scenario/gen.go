@@ -1,0 +1,312 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"polca/internal/trace"
+	"polca/internal/workload"
+)
+
+// genBucket is the piecewise-constant granularity the generator compiles
+// rate shapes and burst overlays to — fine enough that a 5-minute burst
+// episode or a 10-minute spike rise lands on several buckets.
+const genBucket = time.Minute
+
+// maxSessionTurns bounds the geometric turn draw so one session cannot
+// outlive the run.
+const maxSessionTurns = 64
+
+// Generator produces a scenario's requests online, in globally sorted
+// arrival order, drawing every cohort from its own named RNG streams. The
+// steady-state path allocates nothing (the pending-turn heap reuses its
+// backing array), so it can sit inside the simulator's hot loop.
+type Generator struct {
+	horizon time.Duration
+	cohorts []cohortGen
+	turns   turnHeap
+	nextID  int64
+	nextSID int64
+}
+
+// cohortGen is one cohort's generation state: its compiled rate plan, its
+// three dedicated streams, and the next fresh-session arrival.
+type cohortGen struct {
+	cohort Cohort
+	pri    workload.Priority
+	plan   trace.RatePlan
+	arrRNG *rand.Rand // inter-arrival gaps
+	tokRNG *rand.Rand // prompt/output lengths
+	sesRNG *rand.Rand // turn counts, think times, prefix groups
+	next   time.Duration
+	ok     bool
+}
+
+// turnEvent is a pending follow-up turn of an open session.
+type turnEvent struct {
+	at        time.Duration
+	session   int64
+	ctx       int32 // accumulated fresh+output tokens of prior turns
+	cohort    int32
+	turnsLeft int32
+	turn      int32
+	group     int32
+}
+
+// NewGenerator compiles the spec for the horizon and primes every cohort.
+// scale multiplies all rates (callers pass servers/Basis so the scenario
+// keeps its per-server intensity on any row, times any explicit -scale).
+// randFor hands out named streams — sim.Engine.Rand in production, so
+// generation shares the engine's determinism contract.
+func NewGenerator(spec Spec, horizon time.Duration, scale float64, randFor func(string) *rand.Rand) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{horizon: horizon}
+	g.cohorts = make([]cohortGen, len(spec.Cohorts))
+	for i, co := range spec.Cohorts {
+		c := &g.cohorts[i]
+		c.cohort = co
+		c.pri = co.SLO.Priority()
+		c.arrRNG = randFor("scenario/" + co.Name + "/arrivals")
+		c.tokRNG = randFor("scenario/" + co.Name + "/tokens")
+		c.sesRNG = randFor("scenario/" + co.Name + "/sessions")
+		c.plan = compilePlan(co, horizon, scale, randFor("scenario/"+co.Name+"/bursts"))
+		c.next, c.ok = c.plan.NextAfter(0, c.arrRNG)
+		if c.next >= horizon {
+			c.ok = false
+		}
+	}
+	return g, nil
+}
+
+// compilePlan flattens a cohort's mean rate, rate shape, and burst overlay
+// into a piecewise-constant trace.RatePlan with the cohort's renewal
+// process plugged in as the gap sampler.
+func compilePlan(co Cohort, horizon time.Duration, scale float64, burstRNG *rand.Rand) trace.RatePlan {
+	n := int((horizon + genBucket - 1) / genBucket)
+	plan := trace.RatePlan{Bucket: genBucket, Rates: make([]float64, n), Gap: co.Arrivals.Gap()}
+	for i := range plan.Rates {
+		mid := time.Duration(i)*genBucket + genBucket/2
+		plan.Rates[i] = scale * co.Rate * co.Shape.Factor(mid)
+	}
+	if b := co.Burst; b != nil {
+		// Walk the episode process once; each bucket gets the multiplier
+		// weighted by how much of the bucket an episode covers.
+		for t := time.Duration(0); t < horizon; {
+			start := t + time.Duration(burstRNG.ExpFloat64()*float64(b.Gap))
+			end := start + b.Dur
+			for i := int(start / genBucket); i <= int(end/genBucket) && i < n; i++ {
+				bLo, bHi := time.Duration(i)*genBucket, time.Duration(i+1)*genBucket
+				lo, hi := maxDur(bLo, start), minDur(bHi, end)
+				if hi > lo {
+					frac := float64(hi-lo) / float64(genBucket)
+					plan.Rates[i] *= 1 + (b.X-1)*frac
+				}
+			}
+			t = end
+		}
+	}
+	return plan
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Next returns the next request in global arrival order, or ok == false
+// once every cohort's plan is exhausted and no session turns are pending.
+// Ties (identical arrival instants) resolve pending turns first, then the
+// lowest cohort index, so the merge order is deterministic.
+func (g *Generator) Next() (workload.Request, bool) {
+	bestC := -1
+	var bestT time.Duration
+	for i := range g.cohorts {
+		c := &g.cohorts[i]
+		if c.ok && (bestC < 0 || c.next < bestT) {
+			bestC, bestT = i, c.next
+		}
+	}
+	if g.turns.len() > 0 {
+		if ev := g.turns.peek(); bestC < 0 || ev.at <= bestT {
+			g.turns.pop()
+			return g.emitTurn(ev), true
+		}
+	}
+	if bestC < 0 {
+		return workload.Request{}, false
+	}
+	c := &g.cohorts[bestC]
+	req := g.emitFresh(bestC, bestT)
+	c.next, c.ok = c.plan.NextAfter(bestT, c.arrRNG)
+	if c.next >= g.horizon {
+		c.ok = false
+	}
+	return req, true
+}
+
+// emitFresh opens a new session: draws its prefix group and turn count on
+// the session stream, its first prompt/output on the token stream, and
+// schedules the follow-up turn when the session has one.
+func (g *Generator) emitFresh(idx int, at time.Duration) workload.Request {
+	c := &g.cohorts[idx]
+	co := &c.cohort
+	g.nextSID++
+	var group int32
+	if co.Prefix != nil {
+		group = int32(c.sesRNG.Intn(co.Prefix.Groups) + 1)
+	}
+	turns := 1
+	if s := co.Sessions; s != nil {
+		p := 1 / s.Turns
+		for turns < maxSessionTurns && c.sesRNG.Float64() >= p {
+			turns++
+		}
+	}
+	fresh := co.Prompt.Sample(c.tokRNG)
+	out := co.Output.Sample(c.tokRNG)
+	g.nextID++
+	req := workload.Request{
+		ID: g.nextID, Class: co.Name, Priority: c.pri, Arrival: at,
+		Input: clampPrompt(fresh, 0, co.Prefix), Output: out,
+		Session: g.nextSID, Turn: 1, PrefixGroup: group,
+	}
+	if turns > 1 {
+		g.scheduleTurn(int32(idx), turnEvent{
+			session: g.nextSID, ctx: int32(fresh + out),
+			turnsLeft: int32(turns - 1), turn: 2, group: group,
+		}, at)
+	}
+	return req
+}
+
+// emitTurn emits a follow-up turn: a fresh prompt plus the grow fraction
+// of the session's accumulated context, re-sent the way a chat client
+// replays its history.
+func (g *Generator) emitTurn(ev turnEvent) workload.Request {
+	c := &g.cohorts[ev.cohort]
+	co := &c.cohort
+	fresh := co.Prompt.Sample(c.tokRNG)
+	out := co.Output.Sample(c.tokRNG)
+	carried := int(co.Sessions.Grow * float64(ev.ctx))
+	g.nextID++
+	req := workload.Request{
+		ID: g.nextID, Class: co.Name, Priority: c.pri, Arrival: ev.at,
+		Input: clampPrompt(fresh, carried, co.Prefix), Output: out,
+		Session: ev.session, Turn: int(ev.turn), PrefixGroup: ev.group,
+	}
+	if ev.turnsLeft > 1 {
+		g.scheduleTurn(ev.cohort, turnEvent{
+			session: ev.session, ctx: ev.ctx + int32(fresh+out),
+			turnsLeft: ev.turnsLeft - 1, turn: ev.turn + 1, group: ev.group,
+		}, ev.at)
+	}
+	return req
+}
+
+// scheduleTurn queues the session's next turn after an exponential think
+// gap; turns that would land past the horizon are dropped, so every
+// emitted arrival stays inside it.
+func (g *Generator) scheduleTurn(cohort int32, ev turnEvent, from time.Duration) {
+	c := &g.cohorts[cohort]
+	ev.cohort = cohort
+	ev.at = from + time.Duration(c.sesRNG.ExpFloat64()*float64(c.cohort.Sessions.Think))
+	if ev.at < g.horizon {
+		g.turns.push(ev)
+	}
+}
+
+// clampPrompt assembles prefix + fresh + carried context under MaxContext.
+func clampPrompt(fresh, carried int, p *Prefix) int {
+	n := fresh + carried
+	if p != nil {
+		n += p.Tokens
+	}
+	if n > MaxContext {
+		return MaxContext
+	}
+	return n
+}
+
+// Generate runs the generator to exhaustion and returns the full sorted
+// request list — the form Row.RunRequests consumes.
+func Generate(spec Spec, horizon time.Duration, scale float64, randFor func(string) *rand.Rand) ([]workload.Request, error) {
+	g, err := NewGenerator(spec, horizon, scale, randFor)
+	if err != nil {
+		return nil, err
+	}
+	var out []workload.Request
+	for {
+		req, ok := g.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, req)
+	}
+}
+
+// turnHeap is a by-value min-heap of pending turns ordered by (at,
+// cohort, session); the backing array is reused across push/pop so the
+// steady-state generation path allocates nothing.
+type turnHeap struct {
+	evs []turnEvent
+}
+
+func (h *turnHeap) len() int        { return len(h.evs) }
+func (h *turnHeap) peek() turnEvent { return h.evs[0] }
+
+func (h *turnHeap) less(a, b turnEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.cohort != b.cohort {
+		return a.cohort < b.cohort
+	}
+	return a.session < b.session
+}
+
+func (h *turnHeap) push(ev turnEvent) {
+	h.evs = append(h.evs, ev)
+	i := len(h.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.evs[i], h.evs[parent]) {
+			break
+		}
+		h.evs[i], h.evs[parent] = h.evs[parent], h.evs[i]
+		i = parent
+	}
+}
+
+func (h *turnHeap) pop() turnEvent {
+	top := h.evs[0]
+	last := len(h.evs) - 1
+	h.evs[0] = h.evs[last]
+	h.evs = h.evs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.less(h.evs[l], h.evs[small]) {
+			small = l
+		}
+		if r < last && h.less(h.evs[r], h.evs[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		h.evs[i], h.evs[small] = h.evs[small], h.evs[i]
+		i = small
+	}
+}

@@ -1,0 +1,25 @@
+// Command gen regenerates the committed scenarios/*.scn files from the
+// builtin library (go run ./internal/scenario/gen from the repo root; the
+// make scenarios target wraps it). TestLibraryFilesMatchBuiltins keeps the
+// two in lockstep.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"polca/internal/scenario"
+)
+
+func main() {
+	for _, n := range scenario.Names() {
+		src, err := scenario.BuiltinSource(n)
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile("scenarios/"+n+".scn", []byte(src), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote scenarios/" + n + ".scn")
+	}
+}

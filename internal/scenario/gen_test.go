@@ -1,0 +1,315 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"polca/internal/sim"
+	"polca/internal/stats"
+	"polca/internal/workload"
+)
+
+// flatSpec builds a one-cohort spec for the arrival-process tests.
+func flatSpec(arr Arrivals, burst *Burst, rate float64) Spec {
+	return Spec{
+		Name: "t", Basis: 16,
+		Cohorts: []Cohort{{
+			Name: "c", SLO: Standard, Rate: rate, Arrivals: arr, Burst: burst,
+			Prompt: TokenDist{Kind: DistPoint, A: 100},
+			Output: TokenDist{Kind: DistPoint, A: 50},
+		}},
+	}
+}
+
+func generate(t *testing.T, spec Spec, horizon time.Duration, seed int64) []workload.Request {
+	t.Helper()
+	reqs, err := Generate(spec, horizon, 1, sim.New(seed).Rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// TestGenerateDeterministic reruns the same spec on fresh engines and on
+// an engine whose streams were pre-touched in a different order; both
+// must reproduce the run request for request (the named-stream contract).
+func TestGenerateDeterministic(t *testing.T) {
+	spec, err := Builtin("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := generate(t, spec, 6*time.Hour, 7)
+	b := generate(t, spec, 6*time.Hour, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("rerun diverged")
+	}
+	eng := sim.New(7)
+	eng.Rand("workload") // unrelated streams must not perturb generation
+	eng.Rand("dispatch")
+	c, err := Generate(spec, 6*time.Hour, 1, eng.Rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("pre-touching unrelated streams perturbed generation")
+	}
+	if len(a) == 0 {
+		t.Fatal("no requests generated")
+	}
+}
+
+// TestGenerateSortedWithinHorizon pins the invariants RunRequests needs:
+// nondecreasing arrivals, all inside the horizon, sequential ids from 1 —
+// the same contract internal/trace pins for RatePlan.Arrivals.
+func TestGenerateSortedWithinHorizon(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := 12 * time.Hour
+		reqs := generate(t, spec, horizon, 3)
+		if len(reqs) == 0 {
+			t.Fatalf("%s: no requests", name)
+		}
+		for i, r := range reqs {
+			if r.ID != int64(i+1) {
+				t.Fatalf("%s: request %d has id %d", name, i, r.ID)
+			}
+			if r.Arrival < 0 || r.Arrival >= horizon {
+				t.Fatalf("%s: arrival %v outside [0,%v)", name, r.Arrival, horizon)
+			}
+			if i > 0 && r.Arrival < reqs[i-1].Arrival {
+				t.Fatalf("%s: arrivals not sorted at %d", name, i)
+			}
+			if r.Input < 1 || r.Input > MaxContext || r.Output < 1 {
+				t.Fatalf("%s: bad token counts %+v", name, r)
+			}
+		}
+	}
+}
+
+// TestArrivalCV pins the coefficient of variation of generated
+// inter-arrival gaps to each process's closed form: Poisson at 1,
+// gamma/weibull above or below per their shape. Flat rate, so bucket
+// restarts are the only distortion (a few percent).
+func TestArrivalCV(t *testing.T) {
+	cases := []Arrivals{
+		{Kind: ArrPoisson},
+		{Kind: ArrGamma, Shape: 0.5},
+		{Kind: ArrGamma, Shape: 32},
+		{Kind: ArrWeibull, Shape: 0.6},
+		{Kind: ArrWeibull, Shape: 2},
+	}
+	for _, arr := range cases {
+		reqs := generate(t, flatSpec(arr, nil, 5), 8*time.Hour, 11)
+		if len(reqs) < 10000 {
+			t.Fatalf("%s: only %d arrivals", arr, len(reqs))
+		}
+		gaps := make([]float64, 0, len(reqs)-1)
+		for i := 1; i < len(reqs); i++ {
+			gaps = append(gaps, (reqs[i].Arrival - reqs[i-1].Arrival).Seconds())
+		}
+		mean := stats.Mean(gaps)
+		cv := stats.StdDev(gaps) / mean
+		want := arr.CV()
+		if math.Abs(cv-want) > 0.12*want+0.02 {
+			t.Errorf("%s: gap CV %.3f, want %.3f", arr, cv, want)
+		}
+		// The rate plan holds mean intensity regardless of process.
+		if wantMean := 1.0 / 5; math.Abs(mean-wantMean) > 0.1*wantMean {
+			t.Errorf("%s: mean gap %.4fs, want %.4fs", arr, mean, wantMean)
+		}
+	}
+}
+
+// TestBurstOverlay checks burst episodes raise windowed rates well above
+// the base (burstiness the CV of a smooth process cannot produce) and
+// that the episode schedule is deterministic.
+func TestBurstOverlay(t *testing.T) {
+	b := &Burst{Gap: 2 * time.Hour, Dur: 10 * time.Minute, X: 8}
+	spec := flatSpec(Arrivals{Kind: ArrGamma, Shape: 32}, b, 1)
+	horizon := 24 * time.Hour
+	reqs := generate(t, spec, horizon, 5)
+	window := 5 * time.Minute
+	counts := make([]float64, int(horizon/window))
+	for _, r := range reqs {
+		counts[int(r.Arrival/window)]++
+	}
+	peak, mean := stats.Max(counts), stats.Mean(counts)
+	if peak < 3*mean {
+		t.Errorf("burst overlay too weak: peak window %v, mean %v", peak, mean)
+	}
+	// Without the overlay the same smooth process stays near its mean.
+	flat := generate(t, flatSpec(Arrivals{Kind: ArrGamma, Shape: 32}, nil, 1), horizon, 5)
+	fcounts := make([]float64, int(horizon/window))
+	for _, r := range flat {
+		fcounts[int(r.Arrival/window)]++
+	}
+	if fp, fm := stats.Max(fcounts), stats.Mean(fcounts); fp > 1.6*fm {
+		t.Errorf("smooth baseline unexpectedly bursty: peak %v, mean %v", fp, fm)
+	}
+}
+
+// TestSessionsAndPrefix checks the multi-turn structure: turn numbering,
+// one prefix group per session, growing carried context, and think-time
+// spacing between a session's turns.
+func TestSessionsAndPrefix(t *testing.T) {
+	spec := Spec{
+		Name: "s", Basis: 16,
+		Cohorts: []Cohort{{
+			Name: "agent", SLO: Critical, Rate: 0.05,
+			Prompt:   TokenDist{Kind: DistPoint, A: 200},
+			Output:   TokenDist{Kind: DistPoint, A: 300},
+			Sessions: &Sessions{Turns: 5, Think: 20 * time.Second, Grow: 0.8},
+			Prefix:   &Prefix{Groups: 4, Tokens: 128},
+		}},
+	}
+	reqs := generate(t, spec, 24*time.Hour, 9)
+	bySession := map[int64][]workload.Request{}
+	for _, r := range reqs {
+		if r.Session == 0 {
+			t.Fatal("session id missing")
+		}
+		if r.PrefixGroup < 1 || r.PrefixGroup > 4 {
+			t.Fatalf("prefix group %d outside [1,4]", r.PrefixGroup)
+		}
+		bySession[r.Session] = append(bySession[r.Session], r)
+	}
+	var turnsTotal, multi int
+	for sid, turns := range bySession {
+		for i, r := range turns {
+			if r.Turn != i+1 {
+				t.Fatalf("session %d: turn %d out of order", sid, r.Turn)
+			}
+			if r.PrefixGroup != turns[0].PrefixGroup {
+				t.Fatalf("session %d: prefix group changed mid-session", sid)
+			}
+			if i > 0 {
+				if r.Arrival <= turns[i-1].Arrival {
+					t.Fatalf("session %d: turns not spaced", sid)
+				}
+				// Carried context: 0.8 * i * (200+300) on top of 128+200.
+				want := 128 + 200 + int(0.8*float64(i)*500)
+				if r.Input != want && r.Input != MaxContext {
+					t.Fatalf("session %d turn %d: prompt %d, want %d", sid, r.Turn, r.Input, want)
+				}
+			}
+		}
+		turnsTotal += len(turns)
+		if len(turns) > 1 {
+			multi++
+		}
+	}
+	meanTurns := float64(turnsTotal) / float64(len(bySession))
+	if meanTurns < 4 || meanTurns > 6 {
+		t.Errorf("mean turns %.2f, want ~5", meanTurns)
+	}
+	if multi == 0 {
+		t.Error("no multi-turn sessions")
+	}
+}
+
+// TestMomentsMatchEmpirical is the satellite-2 regression: the analytic
+// MeanPromptTokens/MeanOutputTokens moments that Classes() bakes into the
+// capacity-planning surrogates must match what the generator actually
+// produces, lognormal tails, sessions, and prefixes included.
+func TestMomentsMatchEmpirical(t *testing.T) {
+	spec := Spec{
+		Name: "m", Basis: 16,
+		Cohorts: []Cohort{{
+			Name: "chat", SLO: Standard, Rate: 0.2,
+			Arrivals: Arrivals{Kind: ArrGamma, Shape: 0.5},
+			Prompt:   TokenDist{Kind: DistLogNormal, A: 360, B: 0.7},
+			Output:   TokenDist{Kind: DistLogNormal, A: 180, B: 0.6},
+			Sessions: &Sessions{Turns: 4, Think: 30 * time.Second, Grow: 0.7},
+			Prefix:   &Prefix{Groups: 8, Tokens: 64},
+		}},
+	}
+	reqs := generate(t, spec, 7*24*time.Hour, 13)
+	if len(reqs) < 50000 {
+		t.Fatalf("only %d requests", len(reqs))
+	}
+	var p, o float64
+	for _, r := range reqs {
+		p += float64(r.Input)
+		o += float64(r.Output)
+	}
+	p /= float64(len(reqs))
+	o /= float64(len(reqs))
+	wantP, wantO := spec.MeanTokens()
+	if math.Abs(p-wantP) > 0.05*wantP {
+		t.Errorf("empirical mean prompt %.0f, analytic %.0f", p, wantP)
+	}
+	if math.Abs(o-wantO) > 0.05*wantO {
+		t.Errorf("empirical mean output %.0f, analytic %.0f", o, wantO)
+	}
+	// And the compiled surrogate classes carry exactly these moments
+	// (within integer rounding of the point-mass ranges).
+	gotP, gotO := workload.MeanTokens(spec.Classes())
+	if math.Abs(gotP-wantP) > 0.5 || math.Abs(gotO-wantO) > 0.5 {
+		t.Errorf("surrogate classes (%v, %v), analytic (%v, %v)", gotP, gotO, wantP, wantO)
+	}
+}
+
+// TestClassesValidAndRanked checks every builtin compiles to a class
+// table the cluster config accepts, with shed ranks from the SLO ladder.
+func TestClassesValidAndRanked(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes := spec.Classes()
+		if err := workload.Validate(classes); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ranks := spec.ShedRanks()
+		for _, c := range spec.Cohorts {
+			if ranks[c.Name] != c.SLO.ShedRank() {
+				t.Fatalf("%s: rank mismatch for %s", name, c.Name)
+			}
+		}
+	}
+}
+
+// TestRampAndSpikeShapes pins the launch-day machinery: a ramp multiplies
+// the post-launch rate, a spike decays back.
+func TestRampAndSpikeShapes(t *testing.T) {
+	ramp := RateShape{Kind: ShapeRamp, At: 6 * time.Hour, Over: 2 * time.Hour, X: 5}
+	if f := ramp.Factor(3 * time.Hour); f != 1 {
+		t.Errorf("pre-ramp factor %v", f)
+	}
+	if f := ramp.Factor(7 * time.Hour); math.Abs(f-3) > 1e-9 {
+		t.Errorf("mid-ramp factor %v, want 3", f)
+	}
+	if f := ramp.Factor(20 * time.Hour); f != 5 {
+		t.Errorf("post-ramp factor %v, want 5", f)
+	}
+	spike := RateShape{Kind: ShapeSpike, At: 8 * time.Hour, X: 8, Rise: 10 * time.Minute, Fall: time.Hour}
+	if f := spike.Factor(8*time.Hour + 10*time.Minute); math.Abs(f-8) > 1e-9 {
+		t.Errorf("spike peak %v, want 8", f)
+	}
+	if f := spike.Factor(16 * time.Hour); f > 1.01 {
+		t.Errorf("spike did not decay: %v", f)
+	}
+	spec := flatSpec(Arrivals{Kind: ArrGamma, Shape: 32}, nil, 0.5)
+	spec.Cohorts[0].Shape = ramp
+	reqs := generate(t, spec, 24*time.Hour, 21)
+	var pre, post int
+	for _, r := range reqs {
+		switch {
+		case r.Arrival < 6*time.Hour:
+			pre++
+		case r.Arrival >= 8*time.Hour:
+			post++
+		}
+	}
+	preRate := float64(pre) / (6 * 3600)
+	postRate := float64(post) / (16 * 3600)
+	if postRate < 4*preRate || postRate > 6*preRate {
+		t.Errorf("ramp rates: pre %.4f/s post %.4f/s, want 5x", preRate, postRate)
+	}
+}

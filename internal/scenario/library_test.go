@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLibraryFilesMatchBuiltins holds the committed scenarios/*.scn files
+// and the builtin library in lockstep: every builtin has a file with its
+// exact canonical source, and no stray .scn files exist. Regenerate with
+// `make scenarios` (go run ./internal/scenario/gen) after editing a
+// builtin.
+func TestLibraryFilesMatchBuiltins(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	for _, n := range Names() {
+		src, err := BuiltinSource(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, n+".scn"))
+		if err != nil {
+			t.Fatalf("builtin %q has no committed file (run make scenarios): %v", n, err)
+		}
+		if string(data) != src {
+			t.Errorf("scenarios/%s.scn differs from the builtin source (run make scenarios)", n)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".scn") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".scn")
+		if _, err := BuiltinSource(name); err != nil {
+			t.Errorf("scenarios/%s has no matching builtin", e.Name())
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package scenario is the declarative workload layer between traffic
+// generation and the serving engine: a compact text DSL (mirroring the
+// faults DSL's Parse/String canonical round-trip) that composes per-client
+// cohorts — each with its own arrival process, rate shape, SLO class,
+// token-length distributions, shared-prefix group, and multi-turn session
+// structure — into one named, reproducible scenario.
+//
+// The paper evaluates POLCA against a single Table 6 mix under one diurnal
+// curve; scenarios generalize that to the named, diverse traffic that
+// site-scale planning and counterfactual policy search need. The legacy
+// mix is re-expressed as the builtin "table6" scenario, so the hardcoded
+// path is a special case of this subsystem.
+//
+// Determinism: every cohort samples from dedicated named RNG streams
+// (scenario/<cohort>/arrivals, /tokens, /sessions, /bursts) drawn from the
+// engine's stream factory, so generated traffic is event-for-event
+// identical across reruns and across policy arms of the same sweep, and
+// adding a cohort never perturbs the draws of another.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"polca/internal/workload"
+)
+
+// MaxContext caps a generated prompt's length (the Table 6 maximum; also
+// what fits the serve-mode KV budget for BLOOM-176B). Multi-turn sessions
+// whose accumulated context would exceed it are truncated to the cap, the
+// way production stacks window old turns out.
+const MaxContext = 8192
+
+// DefaultBasis is the nominal row size rates are calibrated for when a
+// spec does not say otherwise.
+const DefaultBasis = 16
+
+// SLOClass is a cohort's service-level class. It maps onto the two
+// simulator substrates: the paper's two-pool Priority (critical/standard
+// run high priority, sheddable/batch run low) and the serve-mode
+// class-shed rank (batch and sheddable shed first in a power emergency,
+// standard next, critical never).
+type SLOClass int
+
+const (
+	Critical SLOClass = iota
+	Standard
+	Sheddable
+	Batch
+)
+
+var sloNames = [...]string{"critical", "standard", "sheddable", "batch"}
+
+// String returns the DSL name of the class.
+func (c SLOClass) String() string {
+	if c < 0 || int(c) >= len(sloNames) {
+		return fmt.Sprintf("slo(%d)", int(c))
+	}
+	return sloNames[c]
+}
+
+// ParseSLOClass parses a DSL class name.
+func ParseSLOClass(s string) (SLOClass, error) {
+	for i, n := range sloNames {
+		if s == n {
+			return SLOClass(i), nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown slo class %q (have %s)", s, strings.Join(sloNames[:], ", "))
+}
+
+// Priority maps the class onto the paper's two-pool priority model.
+func (c SLOClass) Priority() workload.Priority {
+	if c == Critical || c == Standard {
+		return workload.High
+	}
+	return workload.Low
+}
+
+// ShedRank maps the class onto the serve-mode class-shed severity ladder
+// (0 sheds at severity >= 1, 1 at severity 2, 2 never).
+func (c SLOClass) ShedRank() int {
+	switch c {
+	case Critical:
+		return 2
+	case Standard:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Sessions makes a cohort multi-turn: each fresh arrival opens a session
+// whose turn count is geometric with mean Turns, turns are separated by
+// exponential think time with mean Think, and every follow-up turn re-sends
+// Grow of the session's accumulated context (fresh prompts + generated
+// outputs) on top of its fresh prompt — the growing-context pattern of
+// chat and agent traffic.
+type Sessions struct {
+	Turns float64
+	Think time.Duration
+	Grow  float64
+}
+
+func (s Sessions) validate() error {
+	switch {
+	case s.Turns < 1 || s.Turns > 64:
+		return fmt.Errorf("scenario: mean turns %v outside [1,64]", s.Turns)
+	case s.Think <= 0:
+		return fmt.Errorf("scenario: non-positive think time")
+	case s.Grow < 0 || s.Grow > 1:
+		return fmt.Errorf("scenario: context grow fraction %v outside [0,1]", s.Grow)
+	}
+	return nil
+}
+
+// String renders the canonical DSL form.
+func (s Sessions) String() string {
+	return fmt.Sprintf("(turns=%s,think=%s,grow=%s)", trimFloat(s.Turns), trimDur(s.Think), trimFloat(s.Grow))
+}
+
+// Prefix gives every prompt in the cohort a shared system prefix: each
+// session is assigned one of Groups distinct prefixes (uniformly, on the
+// session stream) and every turn prepends its Tokens tokens. The group id
+// rides on the request so prefix-aware routing can exploit the locality.
+type Prefix struct {
+	Groups int
+	Tokens int
+}
+
+func (p Prefix) validate() error {
+	switch {
+	case p.Groups < 1 || p.Groups > 1<<20:
+		return fmt.Errorf("scenario: prefix groups %d outside [1,2^20]", p.Groups)
+	case p.Tokens < 1 || p.Tokens > MaxContext/2:
+		return fmt.Errorf("scenario: prefix tokens %d outside [1,%d]", p.Tokens, MaxContext/2)
+	}
+	return nil
+}
+
+// String renders the canonical DSL form.
+func (p Prefix) String() string {
+	return fmt.Sprintf("(groups=%d,tokens=%d)", p.Groups, p.Tokens)
+}
+
+// Cohort is one client population: a stream of sessions with a common SLO
+// class, arrival process, rate shape, and token-length profile.
+type Cohort struct {
+	Name string
+	SLO  SLOClass
+	// Rate is the mean fresh-session arrival rate (sessions/s) at Basis
+	// servers; the generator scales it by the actual row size.
+	Rate     float64
+	Arrivals Arrivals
+	Burst    *Burst
+	Shape    RateShape
+	// Prompt is the fresh-prompt token distribution (per turn, before the
+	// shared prefix and carried context are added); Output the generated
+	// token distribution.
+	Prompt   TokenDist
+	Output   TokenDist
+	Sessions *Sessions
+	Prefix   *Prefix
+}
+
+// MeanTurns returns the expected requests per session (1 when the cohort
+// is single-turn).
+func (c Cohort) MeanTurns() float64 {
+	if c.Sessions == nil {
+		return 1
+	}
+	return c.Sessions.Turns
+}
+
+// RequestRate returns the cohort's mean request rate (requests/s at Basis
+// servers): session rate times mean turns.
+func (c Cohort) RequestRate() float64 {
+	return c.Rate * c.MeanTurns()
+}
+
+// MeanPromptTokens returns the exact expected prompt length of a random
+// request from the cohort, including the shared prefix and the carried
+// multi-turn context: for geometric sessions with mean T turns, a random
+// request has T-1 expected prior turns, each contributing its fresh
+// prompt and output scaled by the grow fraction. (The MaxContext clamp is
+// ignored; Validate rejects specs whose mean would exceed it.)
+func (c Cohort) MeanPromptTokens() float64 {
+	mean := c.Prompt.Mean()
+	if c.Prefix != nil {
+		mean += float64(c.Prefix.Tokens)
+	}
+	if s := c.Sessions; s != nil {
+		mean += s.Grow * (s.Turns - 1) * (c.Prompt.Mean() + c.Output.Mean())
+	}
+	return mean
+}
+
+// MeanOutputTokens returns the expected generated length per request.
+func (c Cohort) MeanOutputTokens() float64 {
+	return c.Output.Mean()
+}
+
+func (c Cohort) validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("scenario: unnamed cohort")
+	case strings.ContainsAny(c.Name, " \t=#"):
+		return fmt.Errorf("scenario: cohort name %q has reserved characters", c.Name)
+	case c.SLO < Critical || c.SLO > Batch:
+		return fmt.Errorf("scenario: %s: bad slo class %d", c.Name, int(c.SLO))
+	case c.Rate <= 0 || c.Rate > 1e6:
+		return fmt.Errorf("scenario: %s: rate %v outside (0,1e6]", c.Name, c.Rate)
+	}
+	if err := c.Arrivals.validate(); err != nil {
+		return fmt.Errorf("%v (cohort %s)", err, c.Name)
+	}
+	if c.Burst != nil {
+		if err := c.Burst.validate(); err != nil {
+			return fmt.Errorf("%v (cohort %s)", err, c.Name)
+		}
+	}
+	if err := c.Shape.validate(); err != nil {
+		return fmt.Errorf("%v (cohort %s)", err, c.Name)
+	}
+	if err := c.Prompt.validate("prompt"); err != nil {
+		return fmt.Errorf("%v (cohort %s)", err, c.Name)
+	}
+	if err := c.Output.validate("output"); err != nil {
+		return fmt.Errorf("%v (cohort %s)", err, c.Name)
+	}
+	if c.Sessions != nil {
+		if err := c.Sessions.validate(); err != nil {
+			return fmt.Errorf("%v (cohort %s)", err, c.Name)
+		}
+	}
+	if c.Prefix != nil {
+		if err := c.Prefix.validate(); err != nil {
+			return fmt.Errorf("%v (cohort %s)", err, c.Name)
+		}
+	}
+	if mean := c.MeanPromptTokens(); mean > MaxContext {
+		return fmt.Errorf("scenario: %s: mean prompt %.0f tokens exceeds the %d context cap", c.Name, mean, MaxContext)
+	}
+	return nil
+}
+
+// Spec is one named scenario: a basis row size and the cohorts that share
+// it. The zero value is not valid; build specs with Parse or the library.
+type Spec struct {
+	Name string
+	// Basis is the row size (server count) the cohort rates are calibrated
+	// for; the generator scales rates by servers/Basis so a scenario keeps
+	// its per-server intensity on any row.
+	Basis   int
+	Cohorts []Cohort
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("scenario: unnamed spec")
+	case strings.ContainsAny(s.Name, " \t=#"):
+		return fmt.Errorf("scenario: name %q has reserved characters", s.Name)
+	case s.Basis < 1 || s.Basis > 1<<16:
+		return fmt.Errorf("scenario: basis %d outside [1,65536]", s.Basis)
+	case len(s.Cohorts) == 0:
+		return fmt.Errorf("scenario: %s: no cohorts", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Cohorts))
+	for _, c := range s.Cohorts {
+		if err := c.validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("scenario: duplicate cohort %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// TotalRequestRate returns the spec's mean aggregate request rate
+// (requests/s at Basis servers).
+func (s Spec) TotalRequestRate() float64 {
+	var total float64
+	for _, c := range s.Cohorts {
+		total += c.RequestRate()
+	}
+	return total
+}
+
+// MeanTokens returns the request-weighted expected prompt and output
+// lengths of the whole mix — the scenario counterpart of
+// workload.MeanTokens, and by construction equal to it on the surrogate
+// classes Classes builds.
+func (s Spec) MeanTokens() (prompt, output float64) {
+	total := s.TotalRequestRate()
+	for _, c := range s.Cohorts {
+		w := c.RequestRate() / total
+		prompt += w * c.MeanPromptTokens()
+		output += w * c.MeanOutputTokens()
+	}
+	return prompt, output
+}
+
+// Classes compiles the spec into the workload.Class table the cluster
+// simulator's capacity planning runs on. Each cohort becomes one class
+// whose point-mass token ranges equal the cohort's exact analytic means —
+// so MeanServiceSeconds, BusyServerWatts, and the trace fit see the same
+// first moments the generator produces, whatever the underlying
+// distributions — and whose Share is the cohort's fraction of mean
+// request traffic. LowShare is 0 or 1 per the SLO class's priority
+// mapping (scenario cohorts never split one cohort across pools; split
+// populations are expressed as two cohorts).
+func (s Spec) Classes() []workload.Class {
+	total := s.TotalRequestRate()
+	out := make([]workload.Class, len(s.Cohorts))
+	var acc float64
+	for i, c := range s.Cohorts {
+		share := c.RequestRate() / total
+		if i == len(s.Cohorts)-1 {
+			share = 1 - acc // exact residual so shares sum to 1
+		}
+		acc += share
+		low := 0.0
+		if c.SLO.Priority() == workload.Low {
+			low = 1
+		}
+		p := int(math.Round(c.MeanPromptTokens()))
+		if p < 1 {
+			p = 1
+		}
+		o := int(math.Round(c.MeanOutputTokens()))
+		if o < 1 {
+			o = 1
+		}
+		out[i] = workload.Class{
+			Name: c.Name, PromptMin: p, PromptMax: p, OutputMin: o, OutputMax: o,
+			Share: share, LowShare: low,
+		}
+	}
+	return out
+}
+
+// ShedRanks returns the per-class serve-mode shed ranks declared by the
+// cohorts' SLO classes, overriding the LowShare-derived heuristic.
+func (s Spec) ShedRanks() map[string]int {
+	out := make(map[string]int, len(s.Cohorts))
+	for _, c := range s.Cohorts {
+		out[c.Name] = c.SLO.ShedRank()
+	}
+	return out
+}
+
+// SLOOf returns the cohort's SLO class by name (Standard for unknown
+// names, matching the dispatcher's fallback spirit).
+func (s Spec) SLOOf(name string) SLOClass {
+	for _, c := range s.Cohorts {
+		if c.Name == name {
+			return c.SLO
+		}
+	}
+	return Standard
+}

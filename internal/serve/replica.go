@@ -1314,6 +1314,7 @@ func (r *Replica) emitRootSpan(s *Seq, now sim.Time, reason string) {
 		TTFTSec: s.TTFTSeconds(),
 		Reason:  reason,
 		Retry:   int32(s.Req.Retry),
+		Session: s.Req.Session, Turn: int32(s.Req.Turn),
 	})
 	r.trFree = append(r.trFree, s.tr)
 	s.tr = nil

@@ -25,7 +25,7 @@ type Router interface {
 
 // RouterNames lists the available policies in a stable order.
 func RouterNames() []string {
-	return []string{"round-robin", "least-queue", "least-kv", "power-aware"}
+	return []string{"round-robin", "least-queue", "least-kv", "power-aware", "session-affinity"}
 }
 
 // NewRouter builds a routing policy by name.
@@ -39,6 +39,8 @@ func NewRouter(name string) (Router, error) {
 		return leastKV{}, nil
 	case "power-aware":
 		return powerAware{}, nil
+	case "session-affinity":
+		return sessionAffinity{}, nil
 	}
 	return nil, fmt.Errorf("serve: unknown router %q (have %v)", name, RouterNames())
 }
@@ -113,4 +115,31 @@ func (powerAware) Pick(eps []Endpoint, req workload.Request) int {
 		}
 	}
 	return best
+}
+
+// sessionAffinity keeps the turns of one scenario session — and, failing
+// that, the requests of one shared-prefix group — on the same replica, so
+// the carried context's KV pages land where earlier turns already warmed
+// them (vLLM-style prefix-cache locality). The key hashes onto the
+// endpoint set, which is stable while the pool is healthy; requests with
+// no session or prefix structure (legacy traffic, retries after failover
+// reshuffles) fall back to least-queue. Deterministic: the hash depends
+// only on the request, ties on the endpoint order.
+type sessionAffinity struct{}
+
+func (sessionAffinity) Name() string { return "session-affinity" }
+
+func (sessionAffinity) Pick(eps []Endpoint, req workload.Request) int {
+	if len(eps) == 0 {
+		return -1
+	}
+	key := uint64(req.Session)
+	if key == 0 {
+		key = uint64(req.PrefixGroup)
+	}
+	if key == 0 || req.Retry > 0 {
+		return leastQueue{}.Pick(eps, req)
+	}
+	// Fibonacci hashing spreads consecutive session ids uniformly.
+	return int((key * 0x9E3779B97F4A7C15 >> 33) % uint64(len(eps)))
 }

@@ -202,3 +202,21 @@ func Summarize(xs []float64) Describe {
 		Max:    sorted[len(sorted)-1],
 	}
 }
+
+// Jain returns Jain's fairness index of the values: (Σx)² / (n·Σx²),
+// ranging from 1/n (one value holds everything) to 1 (perfect equality).
+// The scenario reports apply it to per-class SLO attainment, so a policy
+// that buys aggregate attainment by starving one class scores visibly
+// worse than one that degrades evenly. Empty or all-zero input yields 1
+// (nothing to be unfair about).
+func Jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

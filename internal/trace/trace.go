@@ -162,6 +162,12 @@ type RatePlan struct {
 	// load-balanced traffic a production row receives from the cluster
 	// front door (coefficient of variation 1/√Shape).
 	Shape int
+	// Gap, when non-nil, overrides the Erlang sampler with a custom
+	// unit-mean inter-arrival draw (internal/scenario plugs Gamma and
+	// Weibull renewal processes in here). Shape is ignored while Gap is
+	// set. The sampler must have mean 1; NextAfter divides it by the
+	// bucket rate.
+	Gap func(rng *rand.Rand) float64
 }
 
 // Horizon returns the time span the plan covers.
@@ -185,7 +191,7 @@ func (p RatePlan) RateAt(t time.Duration) float64 {
 // when oversubscription adds servers and the cluster absorbs
 // proportionally more traffic.
 func (p RatePlan) Scale(f float64) RatePlan {
-	out := RatePlan{Bucket: p.Bucket, Rates: make([]float64, len(p.Rates)), Shape: p.Shape}
+	out := RatePlan{Bucket: p.Bucket, Rates: make([]float64, len(p.Rates)), Shape: p.Shape, Gap: p.Gap}
 	for i, r := range p.Rates {
 		out.Rates[i] = r * f
 	}
@@ -259,9 +265,13 @@ func (p RatePlan) NextAfter(t time.Duration, rng *rand.Rand) (time.Duration, boo
 	return 0, false
 }
 
-// drawGap draws a unit-mean inter-arrival sample: Exp(1) for Poisson, or
-// an Erlang(Shape) sum scaled to unit mean for smoothed traffic.
+// drawGap draws a unit-mean inter-arrival sample: the custom Gap sampler
+// when one is set, Exp(1) for Poisson, or an Erlang(Shape) sum scaled to
+// unit mean for smoothed traffic.
 func (p RatePlan) drawGap(rng *rand.Rand) float64 {
+	if p.Gap != nil {
+		return p.Gap(rng)
+	}
 	k := p.Shape
 	if k <= 1 {
 		return rng.ExpFloat64()

@@ -82,6 +82,14 @@ type Request struct {
 	// generated before a failed attempt are discarded and recomputed, so a
 	// retried request is indistinguishable from a fresh one below routing.
 	Retry int
+	// Session, Turn, and PrefixGroup carry the scenario generator's
+	// structure: requests of one multi-turn session share a Session id
+	// (Turn counts from 1), and cohorts with shared system prefixes tag
+	// each request with its prefix group so routing can exploit the
+	// locality. All three are zero on legacy-sampled traffic.
+	Session     int64
+	Turn        int
+	PrefixGroup int32
 }
 
 // Validate reports whether the class table is internally consistent.
@@ -129,26 +137,38 @@ func NewSampler(classes []Class, rng *rand.Rand) *Sampler {
 
 // Sample draws one request arriving at the given time, from the full mix.
 func (s *Sampler) Sample(arrival time.Duration) Request {
-	return s.sample(arrival, func(c Class) float64 { return c.Share })
+	return s.sample(arrival, func(c Class) float64 { return c.Share }, nil)
 }
 
 // SampleWithPriority draws one request of the given priority: the class is
 // chosen with probability proportional to the share of the cluster's
 // traffic that the class contributes *at that priority* (e.g. at low
 // priority, Summarize and Chat contribute 25% each, so they are drawn
-// 50:50).
+// 50:50), and the priority variate is resolved to the given priority
+// rather than the class's LowShare split.
 func (s *Sampler) SampleWithPriority(arrival time.Duration, p Priority) Request {
-	r := s.sample(arrival, func(c Class) float64 {
+	return s.sample(arrival, func(c Class) float64 {
 		if p == Low {
 			return c.Share * c.LowShare
 		}
 		return c.Share * (1 - c.LowShare)
-	})
-	r.Priority = p
-	return r
+	}, &p)
 }
 
-func (s *Sampler) sample(arrival time.Duration, weight func(Class) float64) Request {
+// sample implements the one sampling rule both entry points share: every
+// request consumes exactly four variates from the stream, in fixed order —
+// class, priority, prompt length, output length. The class variate walks
+// the caller's weight table; the priority variate resolves against the
+// chosen class's LowShare, unless the caller forces a priority, in which
+// case the variate is still consumed but its value discarded. Consuming
+// it unconditionally keeps the two paths stream-compatible: a run that
+// mixes Sample and SampleWithPriority draws the same sequence either way,
+// so switching the cluster's arrival split never perturbs unrelated
+// requests. (Forcing without conditioning the class weights — or
+// conditioning the weights without forcing — was the historical
+// inconsistency; the weight table and the forced priority must describe
+// the same conditional distribution, which the regression tests pin.)
+func (s *Sampler) sample(arrival time.Duration, weight func(Class) float64, force *Priority) Request {
 	var total float64
 	for _, c := range s.classes {
 		total += weight(c)
@@ -171,6 +191,9 @@ func (s *Sampler) sample(arrival time.Duration, weight func(Class) float64) Requ
 	pr := Low
 	if s.rng.Float64() >= chosen.LowShare {
 		pr = High
+	}
+	if force != nil {
+		pr = *force
 	}
 	return Request{
 		ID:       s.nextID,
