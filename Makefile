@@ -5,7 +5,7 @@ GO ?= go
 # benchmark smoke, schema validation of the committed BENCH_*.json
 # trajectory, a chaos smoke run, and a fault-spec fuzz smoke.
 .PHONY: ci
-ci: vet staticcheck rand-audit build test bench-smoke bench-check chaos chaos-serve fuzz-smoke scenarios
+ci: vet staticcheck rand-audit build test bench-smoke bench-check chaos chaos-serve fuzz-smoke scenarios replay-golden
 
 .PHONY: vet
 vet:
@@ -55,13 +55,13 @@ test:
 # 16-server day and needs its own -benchtime. BENCH_REQUIRE lists every
 # name; polca-bench -require fails the target if any stops matching, so a
 # renamed benchmark can never silently drop out of the smoke.
-BENCH_MICRO = ^(BenchmarkEngineEvents|BenchmarkQueuePushPop|BenchmarkTimerStop|BenchmarkTracerDisabled|BenchmarkTracerEnabled|BenchmarkServeTracerDisabled|BenchmarkSpanTracerDisabled|BenchmarkQuantileSketch|BenchmarkScheduler|BenchmarkTSDBIngest|BenchmarkRuleEval|BenchmarkRetryQueue|BenchmarkScenarioSample)$$
-BENCH_REQUIRE = BenchmarkEngineEvents,BenchmarkQueuePushPop,BenchmarkTimerStop,BenchmarkTracerDisabled,BenchmarkTracerEnabled,BenchmarkServeTracerDisabled,BenchmarkSpanTracerDisabled,BenchmarkQuantileSketch,BenchmarkScheduler,BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue,BenchmarkScenarioSample,BenchmarkServeDay
-# The telemetry ingest, rule-evaluation, failover-requeue, and scenario
-# request-generation ticks run inside the simulator's hot loop; -zero-alloc
-# hard-fails the build the moment any of them allocates, with no baseline
-# artifact needed.
-BENCH_ZERO_ALLOC = BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue,BenchmarkScenarioSample
+BENCH_MICRO = ^(BenchmarkEngineEvents|BenchmarkQueuePushPop|BenchmarkTimerStop|BenchmarkTracerDisabled|BenchmarkTracerEnabled|BenchmarkServeTracerDisabled|BenchmarkSpanTracerDisabled|BenchmarkQuantileSketch|BenchmarkScheduler|BenchmarkTSDBIngest|BenchmarkRuleEval|BenchmarkRetryQueue|BenchmarkScenarioSample|BenchmarkDecisionRecord)$$
+BENCH_REQUIRE = BenchmarkEngineEvents,BenchmarkQueuePushPop,BenchmarkTimerStop,BenchmarkTracerDisabled,BenchmarkTracerEnabled,BenchmarkServeTracerDisabled,BenchmarkSpanTracerDisabled,BenchmarkQuantileSketch,BenchmarkScheduler,BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue,BenchmarkScenarioSample,BenchmarkDecisionRecord,BenchmarkServeDay
+# The telemetry ingest, rule-evaluation, failover-requeue, scenario
+# request-generation, and decision-input recording ticks run inside the
+# simulator's hot loop; -zero-alloc hard-fails the build the moment any of
+# them allocates, with no baseline artifact needed.
+BENCH_ZERO_ALLOC = BenchmarkTSDBIngest,BenchmarkRuleEval,BenchmarkRetryQueue,BenchmarkScenarioSample,BenchmarkDecisionRecord
 BENCH_PKGS = . ./internal/serve ./internal/obs ./internal/cluster ./internal/scenario
 
 # bench-smoke runs the hot-path set briefly — enough to catch an allocation
@@ -152,6 +152,16 @@ fuzz-smoke:
 scenarios:
 	$(GO) run ./internal/scenario/gen
 	$(GO) test -run 'TestLibraryFilesMatchBuiltins|TestBuiltinsAreCanonical' ./internal/scenario
+
+# replay-golden pins the counterfactual-replay pipeline end to end: the
+# polca-replay CLI over the committed decision-log fixture must reproduce
+# the golden report byte for byte (self-replay fidelity line included),
+# and -self must exit clean. Refresh after intentional report changes with
+#   go test -run TestGolden -update ./cmd/polca-replay
+.PHONY: replay-golden
+replay-golden:
+	$(GO) test -run 'TestGolden|TestSelfMode' ./cmd/polca-replay
+	$(GO) run ./cmd/polca-replay -self -no-provenance cmd/polca-replay/testdata/decisions.jsonl
 
 # cover writes a coverage profile across all packages and prints the
 # per-function tail plus the total.

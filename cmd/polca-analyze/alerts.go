@@ -1,13 +1,13 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"time"
+
+	"polca/internal/obs"
 )
 
 // This file is the -alerts mode: it reads the structured event JSONL that
@@ -17,16 +17,6 @@ import (
 // emits a resolve for every fire (end-of-run resolution included), the
 // offline reconstruction reconciles exactly with the simulator's own
 // alert summary — the cross-check the cluster tests pin down.
-
-// alertEvent is the subset of the event-JSONL schema the alert timeline
-// needs. Zero-valued fields are omitted on the wire.
-type alertEvent struct {
-	TUs    int64   `json:"t_us"`
-	Kind   string  `json:"kind"`
-	Value  float64 `json:"value"`
-	Reason string  `json:"reason"`
-	Label  string  `json:"label"`
-}
 
 // episode is one reconstructed fire→resolve window.
 type episode struct {
@@ -47,9 +37,10 @@ type alertAgg struct {
 	longest time.Duration
 }
 
-// AnalyzeAlerts reads event JSONL in one streaming pass and renders the
-// alert timeline report. Non-alert events are skipped, so the input can
-// be a full -trace dump.
+// AnalyzeAlerts reads event JSONL in one streaming pass (obs.ScanEvents,
+// so sequence gaps and truncation fail loudly with line numbers) and
+// renders the alert timeline report. Non-alert events are skipped, so the
+// input can be a full -trace dump.
 func AnalyzeAlerts(r io.Reader, top int) (string, error) {
 	var header []string
 	var episodes []episode
@@ -68,41 +59,24 @@ func AnalyzeAlerts(r io.Reader, top int) (string, error) {
 		return a
 	}
 
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		if strings.HasPrefix(text, "#") {
-			header = append(header, text)
-			continue
-		}
-		var ev alertEvent
-		if err := json.Unmarshal([]byte(text), &ev); err != nil {
-			return "", fmt.Errorf("line %d: %w", line, err)
-		}
-		t := time.Duration(ev.TUs) * time.Microsecond
+	err := obs.ScanEvents(r, func(line string) { header = append(header, line) }, func(ev obs.Event) error {
 		switch ev.Kind {
-		case "alert.fire":
+		case obs.KindAlertFire:
 			events++
 			a := agg(ev.Label, ev.Reason)
 			a.fires++
 			if open[ev.Label] != nil {
-				return "", fmt.Errorf("line %d: alert %q fired twice without resolving", line, ev.Label)
+				return fmt.Errorf("alert %q fired twice without resolving", ev.Label)
 			}
-			open[ev.Label] = &episode{name: ev.Label, cond: ev.Reason, start: t, fireValue: ev.Value}
-		case "alert.resolve":
+			open[ev.Label] = &episode{name: ev.Label, cond: ev.Reason, start: ev.At, fireValue: ev.Value}
+		case obs.KindAlertResolve:
 			events++
 			e := open[ev.Label]
 			if e == nil {
-				return "", fmt.Errorf("line %d: alert %q resolved without firing", line, ev.Label)
+				return fmt.Errorf("alert %q resolved without firing", ev.Label)
 			}
 			delete(open, ev.Label)
-			e.end = t
+			e.end = ev.At
 			episodes = append(episodes, *e)
 			a := agg(ev.Label, e.cond)
 			a.active += e.duration()
@@ -110,8 +84,9 @@ func AnalyzeAlerts(r io.Reader, top int) (string, error) {
 				a.longest = e.duration()
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return "", err
 	}
 	if events == 0 {

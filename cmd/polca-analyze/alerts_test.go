@@ -58,22 +58,28 @@ func TestAlertsMode(t *testing.T) {
 	}
 }
 
-// TestAlertsModeRejectsSpanInput: pointing -alerts at a span file (no
-// alert events) is an input error, not an empty report.
+// TestAlertsModeRejectsSpanInput: pointing -alerts at a span file is an
+// input error, not an empty report — the scanner rejects span kinds with
+// the offending line, and a genuine event trace without any alerts gets
+// its own distinct error.
 func TestAlertsModeRejectsSpanInput(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := cli([]string{"-alerts", "testdata/spans.jsonl"}, &out, &errw); code != 1 {
 		t.Fatalf("cli exited %d, want 1; stderr: %s", code, errw.String())
 	}
-	if !strings.Contains(errw.String(), "no alert events") {
-		t.Errorf("stderr = %q, want mention of missing alert events", errw.String())
+	if !strings.Contains(errw.String(), "unknown kind") || !strings.Contains(errw.String(), "line") {
+		t.Errorf("stderr = %q, want unknown-kind error with a line number", errw.String())
+	}
+	noAlerts := strings.NewReader(`{"t_us":2000000,"kind":"brake.engage","value":0.99}` + "\n")
+	if _, err := AnalyzeAlerts(noAlerts, 5); err == nil || !strings.Contains(err.Error(), "no alert events") {
+		t.Errorf("err = %v, want mention of missing alert events", err)
 	}
 }
 
 // TestAlertsModeUnpairedResolve: a resolve with no prior fire is a
 // malformed trace and must be reported with its line number.
 func TestAlertsModeUnpairedResolve(t *testing.T) {
-	in := strings.NewReader(`{"t_us":1000000,"kind":"alert.resolve","server":-1,"pool":-1,"value":1,"reason":"x","label":"ghost"}`)
+	in := strings.NewReader(`{"t_us":1000000,"kind":"alert.resolve","value":1,"reason":"x","label":"ghost"}`)
 	if _, err := AnalyzeAlerts(in, 5); err == nil || !strings.Contains(err.Error(), "resolved without firing") {
 		t.Errorf("err = %v, want unpaired-resolve error", err)
 	}

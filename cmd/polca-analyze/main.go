@@ -25,8 +25,12 @@
 // exactly with the simulator's own alert summary because every fire is
 // paired with a resolve, including end-of-run resolution.
 //
-// The input's `#` provenance header is echoed so reports stay
-// self-describing. All percentiles here are exact (computed over every
+// Reports are self-describing: the analyzer stamps its own `#` provenance
+// header (tool, git revision, input path, mode, parameters) above the
+// input's echoed `#` header, so a saved report records both how the data
+// was produced and how it was read. -no-provenance suppresses the
+// analyzer's lines (the git stamp varies by build) for byte-stable
+// golden outputs. All percentiles here are exact (computed over every
 // request in the trace); the simulator's own report uses a streaming
 // quantile sketch, so the two agree to within the sketch's rank guarantee.
 package main
@@ -55,6 +59,7 @@ func cli(args []string, out, errw io.Writer) int {
 	top := fs.Int("top", 10, "rows in the top-K slowest/most-expensive tables")
 	ttftSLO := fs.Duration("ttft-slo", 15*time.Second, "TTFT SLO threshold for the per-class attainment column")
 	alerts := fs.Bool("alerts", false, "analyze an event trace's alert.fire/alert.resolve stream instead of spans")
+	noProv := fs.Bool("no-provenance", false, "suppress the analyzer's own `#` run-provenance header (input headers are still echoed)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,13 +76,35 @@ func cli(args []string, out, errw io.Writer) int {
 	analyze := func(r io.Reader, top int) (string, error) {
 		return AnalyzeSLO(r, top, ttftSLO.Seconds())
 	}
+	mode := "spans"
 	if *alerts {
 		analyze = AnalyzeAlerts
+		mode = "alerts"
 	}
 	report, err := analyze(f, *top)
 	if err != nil {
 		fmt.Fprintln(errw, "error:", err)
 		return 1
+	}
+	if !*noProv {
+		// The analyzer's own provenance, above the echoed input headers, so
+		// a saved report records both how the data was made and how it was
+		// read. -no-provenance drops the analyzer lines (the git stamp
+		// varies by build), keeping golden outputs byte-stable.
+		prov := obs.Provenance{
+			"tool":  "polca-analyze",
+			"git":   obs.GitDescribe(),
+			"input": fs.Arg(0),
+			"mode":  mode,
+			"top":   *top,
+		}
+		if !*alerts {
+			prov["ttft-slo"] = ttftSLO.String()
+		}
+		if err := obs.WriteProvenance(out, prov); err != nil {
+			fmt.Fprintln(errw, "error:", err)
+			return 1
+		}
 	}
 	fmt.Fprint(out, report)
 	return 0

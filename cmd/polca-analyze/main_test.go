@@ -20,10 +20,12 @@ var update = flag.Bool("update", false, "rewrite testdata/golden.txt from the cu
 
 // TestGolden runs the full CLI on the committed fixture (a deterministic
 // serving run under KV pressure and clock capping — see testdata/gen.go)
-// and compares against the golden report byte for byte.
+// and compares against the golden report byte for byte. -no-provenance
+// keeps the output stable: the analyzer's own header carries a git stamp
+// that varies by build.
 func TestGolden(t *testing.T) {
 	var out, errw bytes.Buffer
-	if code := cli([]string{"-top", "5", "testdata/spans.jsonl"}, &out, &errw); code != 0 {
+	if code := cli([]string{"-top", "5", "-no-provenance", "testdata/spans.jsonl"}, &out, &errw); code != 0 {
 		t.Fatalf("cli exited %d: %s", code, errw.String())
 	}
 	if *update {
@@ -152,6 +154,39 @@ func TestAnalyzeConservesFixtureEnergy(t *testing.T) {
 	wantLine := fmt.Sprintf("Energy: %.2f kJ", total/1e3)
 	if !strings.Contains(out.String(), wantLine) {
 		t.Errorf("overview missing %q", wantLine)
+	}
+}
+
+// TestProvenanceHeader: by default the report opens with the analyzer's
+// own `# key: value` lines (tool, input, mode, parameters) above the
+// echoed input headers, and -no-provenance drops exactly those lines.
+func TestProvenanceHeader(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli([]string{"-top", "5", "testdata/spans.jsonl"}, &out, &errw); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, w := range []string{
+		"# tool: polca-analyze",
+		"# input: testdata/spans.jsonl",
+		"# mode: spans",
+		"# top: 5",
+		"# ttft-slo: 15s",
+		"# git: ",
+	} {
+		if !strings.Contains(got, w) {
+			t.Errorf("default output missing provenance line %q", w)
+		}
+	}
+	var bare, errw2 bytes.Buffer
+	if code := cli([]string{"-top", "5", "-no-provenance", "testdata/spans.jsonl"}, &bare, &errw2); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errw2.String())
+	}
+	if strings.Contains(bare.String(), "# tool: polca-analyze") {
+		t.Error("-no-provenance did not suppress the analyzer header")
+	}
+	if !strings.HasSuffix(got, bare.String()) {
+		t.Error("provenance header is not a pure prefix: report body differs with the flag")
 	}
 }
 

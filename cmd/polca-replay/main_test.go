@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.txt from the current output")
+
+// TestGolden runs the full CLI on the committed fixture (a deterministic
+// faulted serve-mode run recorded with the decision recorder — see
+// testdata/gen.go) and compares against the golden report byte for byte.
+// -no-provenance keeps the output stable: the replayer's own header
+// carries a git stamp that varies by build.
+func TestGolden(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-no-provenance", "-top", "3", "-spans", "testdata/spans.jsonl", "testdata/decisions.jsonl"}
+	if code := cli(args, &out, &errw); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errw.String())
+	}
+	if *update {
+		if err := os.WriteFile("testdata/golden.txt", out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden.txt updated")
+		return
+	}
+	want, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output differs from golden (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+}
+
+// TestSelfMode: -self on a complete log is a clean exit; the fixture's
+// fidelity line must show full reproduction.
+func TestSelfMode(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli([]string{"-no-provenance", "-self", "testdata/decisions.jsonl"}, &out, &errw); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errw.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Self-replay fidelity: 360/360 ticks") ||
+		!strings.Contains(got, "117/117 picks") {
+		t.Errorf("fidelity line missing or partial:\n%s", got)
+	}
+	if strings.Contains(got, "Counterfactual cap policies") {
+		t.Error("-self ran the full counterfactual report")
+	}
+}
+
+// TestProvenanceHeader: by default the report opens with the replayer's
+// own `#` lines above the echoed log header; -no-provenance drops exactly
+// the replayer's.
+func TestProvenanceHeader(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli([]string{"-self", "testdata/decisions.jsonl"}, &out, &errw); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, w := range []string{
+		"# tool: polca-replay",
+		"# input: testdata/decisions.jsonl",
+		"# git: ",
+		"# tool: polca-sim", // echoed from the recorded log
+	} {
+		if !strings.Contains(got, w) {
+			t.Errorf("default output missing %q", w)
+		}
+	}
+	var bare, errw2 bytes.Buffer
+	if code := cli([]string{"-no-provenance", "-self", "testdata/decisions.jsonl"}, &bare, &errw2); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errw2.String())
+	}
+	if strings.Contains(bare.String(), "# tool: polca-replay") {
+		t.Error("-no-provenance did not suppress the replayer header")
+	}
+	if !strings.Contains(bare.String(), "# tool: polca-sim") {
+		t.Error("-no-provenance also dropped the echoed input header")
+	}
+}
+
+// TestPerfettoOutput: -perfetto writes a valid Chrome trace with regret
+// slices from the fixture's diverged alternates.
+func TestPerfettoOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "regret.json")
+	var out, errw bytes.Buffer
+	args := []string{"-no-provenance", "-top", "5", "-routers=false", "-perfetto", path, "testdata/decisions.jsonl"}
+	if code := cli(args, &out, &errw); code != 0 {
+		t.Fatalf("cli exited %d: %s", code, errw.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Error("no regret slices in the annotation track")
+	}
+	if !strings.Contains(out.String(), "Regret annotation track written to") {
+		t.Error("report does not mention the annotation track")
+	}
+}
+
+// TestCLIErrors: usage, missing file, bad grid, truncated log.
+func TestCLIErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli([]string{}, &out, &errw); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := cli([]string{"testdata/definitely-missing.jsonl"}, &out, &errw); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if code := cli([]string{"-grid", "a,b", "testdata/decisions.jsonl"}, &out, &errw); code != 2 {
+		t.Errorf("bad grid: exit %d, want 2", code)
+	}
+
+	// A truncated copy (last line dropped after a mid-file cut) must fail
+	// with the scanner's gap error, not replay silently short.
+	raw, err := os.ReadFile("testdata/decisions.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	cut := append([]string{}, lines[:len(lines)/2]...)
+	cut = append(cut, lines[len(lines)/2+1:]...)
+	path := filepath.Join(t.TempDir(), "truncated.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(cut, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errw.Reset()
+	if code := cli([]string{path}, &out, &errw); code != 1 {
+		t.Errorf("truncated log: exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "gap") {
+		t.Errorf("truncated log error %q does not report the sequence gap", errw.String())
+	}
+}

@@ -93,6 +93,18 @@
 // alerts emit alert.fire/alert.resolve trace events and a per-alert
 // summary table (polca-analyze -alerts rebuilds the timeline from the
 // event trace). -rules implies -tsdb.
+//
+// Decision provenance: -decisions records every controller tick and every
+// router pick together with the full input snapshot the policy saw —
+// telemetry reading and delivery status, guard/watchdog state, ladder
+// stage, desired pool locks, busy counts and measured pool power, and the
+// per-replica queue/KV/cap candidate set for each route — as a versioned
+// JSONL decision log (schema polca-decisions/v2, strict sequence numbers).
+// The header carries the policy spec, thresholds, and row shape, so
+// cmd/polca-replay can re-evaluate alternate configurations purely on the
+// recorded inputs and price the regret of the deployed one. Recording is
+// zero-allocation in steady state and, like all tracing, changes nothing:
+// with the flag off the hot path costs one nil check per site.
 package main
 
 import (
@@ -137,6 +149,7 @@ type runOpts struct {
 	perfettoPath      string
 	spansPath         string
 	spansPerfettoPath string
+	decisionsPath     string
 	tsdbPerfettoPath  string
 	rulesName         string // "" = no rules; "default" or a file path
 	obs               *obs.Observer
@@ -175,6 +188,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write the structured event stream to this JSONL file")
 	perfettoPath := flag.String("perfetto", "", "write the event stream as Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)")
 	spansPath := flag.String("spans", "", "write per-request span trees with energy attribution (serve mode) to this JSONL file, for polca-analyze")
+	decisionsPath := flag.String("decisions", "", "record every controller tick and router pick with its full input snapshot to this JSONL decision log, for polca-replay")
 	spansPerfetto := flag.String("spans-perfetto", "", "write per-request spans as Chrome trace-event JSON on per-request tracks")
 	httpAddr := flag.String("http", "", "serve live /metrics, /progress, and /debug/pprof on this address (e.g. :6060)")
 	tsdbFlag := flag.Bool("tsdb", false, "record bounded sim-time telemetry (multi-resolution TSDB with server→row→site rollups)")
@@ -291,10 +305,13 @@ func main() {
 	observers := make([]*obs.Observer, len(policies))
 	var tsdbHandles []obs.TSDBHandle
 	for i, p := range policies {
-		if registry == nil && !useTSDB {
+		if registry == nil && !useTSDB && *decisionsPath == "" {
 			continue
 		}
 		observer := &obs.Observer{Metrics: registry, Labels: obs.Label("policy", p)}
+		if *decisionsPath != "" {
+			observer.Decisions = obs.NewDecisionRecorder()
+		}
 		if *tracePath != "" || *perfettoPath != "" {
 			observer.Tracer = obs.NewTracer()
 		}
@@ -334,6 +351,7 @@ func main() {
 			perfettoPath:      policyCSVPath(*perfettoPath, p, len(policies) > 1),
 			spansPath:         policyCSVPath(*spansPath, p, len(policies) > 1),
 			spansPerfettoPath: policyCSVPath(*spansPerfetto, p, len(policies) > 1),
+			decisionsPath:     policyCSVPath(*decisionsPath, p, len(policies) > 1),
 			tsdbPerfettoPath:  policyCSVPath(*tsdbPerfetto, p, len(policies) > 1),
 			rulesName:         *rulesFlag,
 			obs:               observers[i],
@@ -397,6 +415,18 @@ func runOne(o runOpts) (string, error) {
 	if o.guard {
 		guard = polca.NewGuard(ctrl, polca.DefaultGuardConfig())
 		ctrl = guard
+	}
+	if dec := o.obs.DecisionLog(); dec != nil {
+		// The row fills the shape/power half of the header at construction;
+		// the policy spec is the CLI's to describe, since only it knows the
+		// controller it built.
+		pspec, gspec, err := polca.DescribeController(ctrl)
+		if err != nil {
+			return "", fmt.Errorf("decisions: %w", err)
+		}
+		dec.UpdateMeta(func(m *obs.DecisionMeta) {
+			m.Spec, m.Guard, m.Seed = pspec, gspec, o.seed
+		})
 	}
 
 	cfg := o.cfg
@@ -617,6 +647,17 @@ func runOne(o runOpts) (string, error) {
 			fmt.Fprintf(&b, "Request-span Perfetto trace written to %s (one track per request)\n", o.spansPerfettoPath)
 		}
 	}
+	if dec := o.obs.DecisionLog(); dec != nil && o.decisionsPath != "" {
+		if err := writeTrace(o.decisionsPath, func(w io.Writer) error {
+			if err := obs.WriteProvenance(w, prov); err != nil {
+				return err
+			}
+			return dec.WriteJSONL(w)
+		}); err != nil {
+			return "", fmt.Errorf("decisions: %w", err)
+		}
+		fmt.Fprintf(&b, "\nDecision log (%d decisions) written to %s (replay with polca-replay)\n", dec.Len(), o.decisionsPath)
+	}
 	return b.String(), nil
 }
 
@@ -677,6 +718,9 @@ func (o runOpts) provenance(policyName string) obs.Provenance {
 	}
 	if o.obs.TimeSeries() != nil {
 		p["tsdb"] = true
+	}
+	if o.obs.DecisionLog() != nil {
+		p["decisions"] = true
 	}
 	if o.rulesName != "" {
 		p["rules"] = o.rulesName

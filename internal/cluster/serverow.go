@@ -303,11 +303,14 @@ func (r *Row) dispatchServe(now sim.Time, req workload.Request) {
 		if n.dead || n.draining() || (circuit && now < n.circuitUntil) {
 			continue
 		}
-		eps = append(eps, serve.Endpoint{Rep: n.rep, CappedMHz: n.appliedLock})
+		ep := serve.Endpoint{Rep: n.rep, CappedMHz: n.appliedLock}
+		ep.Snapshot()
+		eps = append(eps, ep)
 		nodes = append(nodes, n)
 	}
 	r.serveEps[pri], r.serveNodes[pri] = eps, nodes
 	i := r.routers[pri].Pick(eps, req)
+	r.recordRouteDecision(now, req, eps, nodes, i)
 	if i < 0 {
 		r.failServe(now, -1, req, "no-server")
 		return
@@ -321,6 +324,41 @@ func (r *Row) dispatchServe(now sim.Time, req workload.Request) {
 	if q := n.rep.QueueLen(); q > r.metrics.MaxQueueLen {
 		r.metrics.MaxQueueLen = q
 	}
+}
+
+// recordRouteDecision snapshots one router pick into the decision log: the
+// request's routing-relevant fields and the exact candidate set (server
+// index, load, KV occupancy, applied cap) the router chose from. The
+// candidate scratch slice is reused across calls and copied into the
+// recorder's arena, so steady-state recording allocates nothing.
+func (r *Row) recordRouteDecision(now sim.Time, req workload.Request, eps []serve.Endpoint, nodes []*node, pick int) {
+	if r.dec == nil {
+		return
+	}
+	cands := r.decCands[:0]
+	for j := range eps {
+		cands = append(cands, obs.RouteCandidate{
+			Server:    int32(nodes[j].idx),
+			Load:      int32(eps[j].Load),
+			KVFrac:    eps[j].KVFrac,
+			CappedMHz: eps[j].CappedMHz,
+		})
+	}
+	r.decCands = cands
+	chosen := int32(-1)
+	if pick >= 0 {
+		chosen = int32(pick)
+	}
+	r.dec.RecordRoute(obs.Decision{
+		At:      now,
+		ReqID:   req.ID,
+		Class:   req.Class,
+		Pri:     int8(req.Priority),
+		Retry:   int32(req.Retry),
+		Session: req.Session,
+		Prefix:  req.PrefixGroup,
+		Chosen:  chosen,
+	}, cands)
 }
 
 // failServe handles a request the router could not place: with retry

@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-dtype", "ext-phase", "ext-split", "ext-aware", "ext-swing",
 		"ext-hysteresis", "ext-oob", "ext-batch", "ext-seeds", "ext-h100",
 		"ext-train-oversub", "ext-ladder", "figfault", "figserve",
-		"figservefault", "figscenario",
+		"figservefault", "figscenario", "figregret",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -374,6 +374,51 @@ func TestClusterExperimentsQuick(t *testing.T) {
 	for p, v := range byPolicy {
 		if v[1] < v[0] {
 			t.Errorf("%s: +5%% intensity reduced brakes (%d -> %d)", p, v[0], v[1])
+		}
+	}
+}
+
+// TestFigRegretQuick pins the extension's invariants: the recorded day
+// replays against its own configuration with zero divergence (the log is
+// complete), no-cap genuinely diverges from a capping day and the
+// divergence is priced, and every registered router policy covers every
+// recorded pick.
+func TestFigRegretQuick(t *testing.T) {
+	res := quick(t, "figregret")
+	data := res.Data.(FigRegretData)
+	if data.Ticks == 0 || data.Routes == 0 {
+		t.Fatalf("recorded day holds %d ticks, %d routes; the replay is vacuous", data.Ticks, data.Routes)
+	}
+	if data.SelfDiverged != 0 || data.RouteSelfDiverged != 0 {
+		t.Fatalf("self replay diverged (%d ticks, %d routes): the log does not carry the policy's full input",
+			data.SelfDiverged, data.RouteSelfDiverged)
+	}
+	byPolicy := map[string]FigRegretPolicyRow{}
+	for _, r := range data.Policies {
+		byPolicy[r.Policy] = r
+		if r.Ticks != data.Ticks {
+			t.Errorf("%s evaluated %d/%d ticks", r.Policy, r.Ticks, data.Ticks)
+		}
+	}
+	if byPolicy["deployed"].Diverged != 0 {
+		t.Error("deployed alternate diverged from its own log")
+	}
+	nocap := byPolicy["nocap"]
+	if nocap.Diverged == 0 {
+		t.Error("no-cap never diverged from a capping day")
+	}
+	if nocap.HeadroomKJ+nocap.SavedKJ == 0 {
+		t.Error("no-cap divergence carries no priced regret")
+	}
+	if len(data.Routers) == 0 {
+		t.Fatal("no router rows")
+	}
+	for _, r := range data.Routers {
+		if r.Routes != data.Routes {
+			t.Errorf("router %s covered %d/%d picks", r.Router, r.Routes, data.Routes)
+		}
+		if r.Router == "round-robin" && r.Diverged != 0 {
+			t.Errorf("deployed router diverged on %d picks", r.Diverged)
 		}
 	}
 }

@@ -42,7 +42,13 @@ func utf8AppendRune(b []byte, r rune) []byte {
 // emitted in a fixed order and zero-valued optional fields are omitted, so
 // the JSONL output is deterministic and diff-friendly.
 func appendEventJSON(b []byte, ev Event) []byte {
-	b = append(b, `{"t_us":`...)
+	b = append(b, '{')
+	if ev.Seq != 0 {
+		b = append(b, `"seq":`...)
+		b = strconv.AppendUint(b, ev.Seq, 10)
+		b = append(b, ',')
+	}
+	b = append(b, `"t_us":`...)
 	b = strconv.AppendInt(b, int64(ev.At/time.Microsecond), 10)
 	b = append(b, `,"kind":`...)
 	b = appendJSONString(b, ev.Kind.String())

@@ -175,6 +175,18 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// ParseKind maps a wire name back to its Kind. It is the inverse of
+// String for every kind except KindNone; the exhaustive round-trip test
+// keeps the two in lockstep so a new kind cannot ship without a name.
+func ParseKind(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s && k != int(KindNone) {
+			return Kind(k), true
+		}
+	}
+	return KindNone, false
+}
+
 // Pool codes for Event.Pool. They match workload.Priority's values so
 // emitters can convert with a plain cast.
 const (
@@ -213,6 +225,11 @@ type Event struct {
 	Value  float64
 	Reason string
 	Label  string
+	// Seq is the tracer-assigned 1-based sequence number. The JSONL export
+	// carries it so offline scanners can prove a stream is gap-free instead
+	// of trusting timestamp order; 0 marks events built outside a tracer
+	// (legacy files, hand-written fixtures) and is omitted on the wire.
+	Seq uint64
 }
 
 // Sink consumes events. *Tracer is the canonical implementation; the
@@ -226,6 +243,7 @@ type Sink interface {
 // concurrent use; a nil *Tracer is a valid disabled sink.
 type Tracer struct {
 	mu     sync.Mutex
+	seq    uint64
 	events []Event
 }
 
@@ -247,6 +265,8 @@ func (t *Tracer) Emit(ev Event) {
 
 func (t *Tracer) append(ev Event) {
 	t.mu.Lock()
+	t.seq++
+	ev.Seq = t.seq
 	t.events = append(t.events, ev)
 	t.mu.Unlock()
 }
@@ -293,13 +313,15 @@ func (t *Tracer) CountKind(k Kind) int {
 	return n
 }
 
-// Reset discards recorded events but keeps the buffer capacity.
+// Reset discards recorded events but keeps the buffer capacity. The
+// sequence counter restarts too, so each exported stream numbers from 1.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.events = t.events[:0]
+	t.seq = 0
 	t.mu.Unlock()
 }
 
@@ -322,6 +344,19 @@ type Observer struct {
 	// row evaluates on each telemetry tick. Both are nil-safe when unset.
 	DB    *TSDB
 	Rules *Rules
+
+	// Decisions, when set, records full-input decision provenance (every
+	// controller tick and router pick with the snapshot the policy saw) for
+	// offline counterfactual replay. Nil-safe when unset.
+	Decisions *DecisionRecorder
+}
+
+// DecisionLog returns the decision-provenance recorder (nil when disabled).
+func (o *Observer) DecisionLog() *DecisionRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Decisions
 }
 
 // TimeSeries returns the sim-time TSDB (nil when disabled).
@@ -406,7 +441,7 @@ func (o *Observer) WithLabels(kv ...string) *Observer {
 			labels += "," + l
 		}
 	}
-	return &Observer{Tracer: o.Tracer, Metrics: o.Metrics, Spans: o.Spans, Labels: labels, DB: o.DB, Rules: o.Rules}
+	return &Observer{Tracer: o.Tracer, Metrics: o.Metrics, Spans: o.Spans, Labels: labels, DB: o.DB, Rules: o.Rules, Decisions: o.Decisions}
 }
 
 // MetricsOnly returns a derived observer with the event and span tracers

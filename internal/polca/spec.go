@@ -1,0 +1,176 @@
+package polca
+
+import (
+	"fmt"
+
+	"polca/internal/cluster"
+	"polca/internal/obs"
+	"polca/internal/workload"
+)
+
+// Stage implements cluster.StageReporter: 0 = uncapped, 1 = T1, 2 = T2
+// low-priority, 3 = T2 both pools (the same encoding observeState writes
+// to the ctrl.stage TSDB series).
+func (p *Policy) Stage() int {
+	switch {
+	case p.t2HPEngaged:
+		return 3
+	case p.t2LPEngaged:
+		return 2
+	case p.t1Engaged:
+		return 1
+	}
+	return 0
+}
+
+// Stage implements cluster.StageReporter (0 or 1).
+func (s *SingleThreshold) Stage() int {
+	if s.engaged {
+		return 1
+	}
+	return 0
+}
+
+// Stage implements cluster.StageReporter (always 0).
+func (NoCap) Stage() int { return 0 }
+
+// Stage implements cluster.StageReporter: the number of engaged rungs.
+func (l *Ladder) Stage() int {
+	n := 0
+	for _, e := range l.engaged {
+		if e {
+			n++
+		}
+	}
+	return n
+}
+
+// Stage implements cluster.StageReporter: the wrapped policy's stage (the
+// guard itself adds no capping stages; its fail-safe is reported
+// separately through FailSafeEngaged).
+func (g *Guard) Stage() int {
+	if sr, ok := g.inner.(cluster.StageReporter); ok {
+		return sr.Stage()
+	}
+	return 0
+}
+
+// DescribeController renders a controller's full configuration as the
+// obs.PolicySpec the decision-log header carries, so an offline replay can
+// rebuild the deployed policy (and variants of it) without the original
+// command line. A Guard wrapper is unwrapped into the returned GuardSpec.
+// Controllers outside this package's families are not describable.
+func DescribeController(ctrl cluster.Controller) (obs.PolicySpec, *obs.GuardSpec, error) {
+	var gs *obs.GuardSpec
+	if g, ok := ctrl.(*Guard); ok {
+		cfg := g.cfg
+		gs = &obs.GuardSpec{
+			Window:        cfg.Window,
+			StuckAfter:    cfg.StuckAfter,
+			StuckMinUtil:  cfg.StuckMinUtil,
+			FailSafeAfter: cfg.FailSafeAfter,
+			MaxStep:       cfg.MaxStep,
+			FailSafeLPMHz: cfg.FailSafeLPMHz,
+			FailSafeHPMHz: cfg.FailSafeHPMHz,
+		}
+		ctrl = g.inner
+	}
+	switch c := ctrl.(type) {
+	case *Policy:
+		cfg := c.cfg
+		return obs.PolicySpec{
+			Kind: "polca",
+			T1:   cfg.T1, T2: cfg.T2, UncapMargin: cfg.UncapMargin,
+			LPBaseMHz: cfg.LPBaseMHz, LPDeepMHz: cfg.LPDeepMHz, HPCapMHz: cfg.HPCapMHz,
+		}, gs, nil
+	case *SingleThreshold:
+		return obs.PolicySpec{
+			Kind:      "1t",
+			Threshold: c.Threshold, Margin: c.Margin, LockMHz: c.LockMHz, All: c.AllPriorities,
+		}, gs, nil
+	case *Ladder:
+		spec := obs.PolicySpec{Kind: "ladder", Name: c.name}
+		for _, r := range c.rungs {
+			spec.Rungs = append(spec.Rungs, obs.RungSpec{
+				Trigger: r.Trigger, Margin: r.Margin, Pool: int8(r.Pool),
+				LockMHz: r.LockMHz, Delay: r.Delay,
+			})
+		}
+		return spec, gs, nil
+	case NoCap:
+		return obs.PolicySpec{Kind: "nocap"}, gs, nil
+	}
+	return obs.PolicySpec{}, nil, fmt.Errorf("polca: cannot describe controller %T", ctrl)
+}
+
+// ControllerFromSpec is the inverse of DescribeController: it rebuilds a
+// fresh (cold-state) controller from a decision-log header, wrapping it in
+// a Guard when guard is non-nil. Round-tripping through the two functions
+// is locked by TestSpecRoundTrip.
+func ControllerFromSpec(spec obs.PolicySpec, guard *obs.GuardSpec) (cluster.Controller, error) {
+	var ctrl cluster.Controller
+	switch spec.Kind {
+	case "polca":
+		cfg := Config{
+			T1: spec.T1, T2: spec.T2, UncapMargin: spec.UncapMargin,
+			LPBaseMHz: spec.LPBaseMHz, LPDeepMHz: spec.LPDeepMHz, HPCapMHz: spec.HPCapMHz,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		ctrl = New(cfg)
+	case "1t":
+		if spec.Threshold <= 0 || spec.Margin <= 0 || spec.LockMHz <= 0 {
+			return nil, fmt.Errorf("polca: bad 1t spec %+v", spec)
+		}
+		ctrl = &SingleThreshold{
+			Threshold: spec.Threshold, Margin: spec.Margin,
+			LockMHz: spec.LockMHz, AllPriorities: spec.All,
+		}
+	case "ladder":
+		rungs := make([]Rung, 0, len(spec.Rungs))
+		for _, r := range spec.Rungs {
+			rungs = append(rungs, Rung{
+				Trigger: r.Trigger, Margin: r.Margin, Pool: workload.Priority(r.Pool),
+				LockMHz: r.LockMHz, Delay: r.Delay,
+			})
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("Ladder(%d rungs)", len(rungs))
+		}
+		l, err := NewLadder(name, rungs)
+		if err != nil {
+			return nil, err
+		}
+		ctrl = l
+	case "nocap":
+		ctrl = NoCap{}
+	default:
+		return nil, fmt.Errorf("polca: unknown policy kind %q", spec.Kind)
+	}
+	if guard != nil {
+		cfg := GuardConfig{
+			Window:        guard.Window,
+			StuckAfter:    guard.StuckAfter,
+			StuckMinUtil:  guard.StuckMinUtil,
+			FailSafeAfter: guard.FailSafeAfter,
+			MaxStep:       guard.MaxStep,
+			FailSafeLPMHz: guard.FailSafeLPMHz,
+			FailSafeHPMHz: guard.FailSafeHPMHz,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		ctrl = NewGuard(ctrl, cfg)
+	}
+	return ctrl, nil
+}
+
+var (
+	_ cluster.StageReporter = (*Policy)(nil)
+	_ cluster.StageReporter = (*SingleThreshold)(nil)
+	_ cluster.StageReporter = NoCap{}
+	_ cluster.StageReporter = (*Ladder)(nil)
+	_ cluster.StageReporter = (*Guard)(nil)
+)

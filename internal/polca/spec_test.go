@@ -1,0 +1,105 @@
+package polca
+
+import (
+	"reflect"
+	"testing"
+
+	"polca/internal/cluster"
+	"polca/internal/obs"
+	"polca/internal/workload"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	ladder, err := FromConfig(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrls := []cluster.Controller{
+		New(DefaultConfig()),
+		NewSingleThresholdLowPri(),
+		NewSingleThresholdAll(),
+		NoCap{},
+		ladder,
+		NewGuard(New(DefaultConfig()), DefaultGuardConfig()),
+		NewGuard(NewSingleThresholdAll(), DefaultGuardConfig()),
+	}
+	for _, ctrl := range ctrls {
+		spec, gs, err := DescribeController(ctrl)
+		if err != nil {
+			t.Fatalf("%s: describe: %v", ctrl.Name(), err)
+		}
+		rebuilt, err := ControllerFromSpec(spec, gs)
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", ctrl.Name(), err)
+		}
+		if rebuilt.Name() != ctrl.Name() {
+			t.Fatalf("rebuilt name %q, want %q", rebuilt.Name(), ctrl.Name())
+		}
+		spec2, gs2, err := DescribeController(rebuilt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(spec, spec2) {
+			t.Fatalf("%s: spec did not round-trip:\n got %+v\nwant %+v", ctrl.Name(), spec2, spec)
+		}
+		if (gs == nil) != (gs2 == nil) {
+			t.Fatalf("%s: guard presence did not round-trip", ctrl.Name())
+		}
+		if gs != nil && *gs != *gs2 {
+			t.Fatalf("%s: guard spec did not round-trip:\n got %+v\nwant %+v", ctrl.Name(), *gs2, *gs)
+		}
+	}
+
+	if _, err := ControllerFromSpec(obs.PolicySpec{Kind: "zorp"}, nil); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	if _, err := ControllerFromSpec(obs.PolicySpec{Kind: "polca"}, nil); err == nil {
+		t.Fatal("invalid polca config should fail")
+	}
+}
+
+func TestStageReporters(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.Stage() != 0 {
+		t.Fatal("cold policy stage should be 0")
+	}
+	p.t1Engaged = true
+	if p.Stage() != 1 {
+		t.Fatal("t1 stage should be 1")
+	}
+	p.t2LPEngaged = true
+	if p.Stage() != 2 {
+		t.Fatal("t2lp stage should be 2")
+	}
+	p.t2HPEngaged = true
+	if p.Stage() != 3 {
+		t.Fatal("t2hp stage should be 3")
+	}
+
+	s := NewSingleThresholdAll()
+	if s.Stage() != 0 {
+		t.Fatal("cold 1t stage should be 0")
+	}
+	s.engaged = true
+	if s.Stage() != 1 {
+		t.Fatal("engaged 1t stage should be 1")
+	}
+
+	l, err := FromConfig(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.engaged[0], l.engaged[2] = true, true
+	if l.Stage() != 2 {
+		t.Fatal("ladder stage should count engaged rungs")
+	}
+
+	g := NewGuard(p, DefaultGuardConfig())
+	if g.Stage() != 3 {
+		t.Fatal("guard stage should delegate to inner")
+	}
+	if NoCap.Stage(NoCap{}) != 0 {
+		t.Fatal("nocap stage should be 0")
+	}
+	_ = workload.Low
+}

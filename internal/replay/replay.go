@@ -1,0 +1,83 @@
+// Package replay re-evaluates recorded power-management decisions against
+// alternate policy configurations, purely from the input snapshots the
+// decision log carries — no re-simulation. Each recorded controller tick
+// holds exactly what the deployed policy saw (the delivered reading or the
+// outage that replaced it, the guard/watchdog/brake state, the busy/power
+// load per pool), so any alternate cap policy can be asked "what would you
+// have done here?" and the divergence priced into regret: headroom the
+// deployed config left unreclaimed, latency it burned capping deeper than
+// the alternate, and the brake risk the alternate would have taken on.
+// Route decisions replay the same way against any router policy, over the
+// recorded per-replica queue/KV/cap candidate snapshots.
+package replay
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"polca/internal/obs"
+)
+
+// Log is a fully loaded decision log: the header, the decisions in record
+// order, and the candidate arena route decisions index into.
+type Log struct {
+	Meta      obs.DecisionMeta
+	Decisions []obs.Decision
+	Cands     []obs.RouteCandidate
+	// Comments holds `#` provenance lines found before or between records.
+	Comments []string
+}
+
+// Load reads a decision log written by obs.(*DecisionRecorder).WriteJSONL.
+// The scanner's gap detection applies: a truncated or spliced log fails
+// with the offending line number rather than replaying silently short.
+func Load(r io.Reader) (*Log, error) {
+	l := &Log{}
+	meta, err := obs.ScanDecisions(r,
+		func(line string) { l.Comments = append(l.Comments, line) },
+		func(d obs.Decision, cands []obs.RouteCandidate) error {
+			if d.Kind == obs.DecRoute {
+				d.EpOff = int32(len(l.Cands))
+				d.EpLen = int32(len(cands))
+				l.Cands = append(l.Cands, cands...)
+			}
+			l.Decisions = append(l.Decisions, d)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	l.Meta = meta
+	return l, nil
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+// Ticks counts the controller-tick decisions in the log.
+func (l *Log) Ticks() int { return l.count(obs.DecTick) }
+
+// Routes counts the route decisions in the log.
+func (l *Log) Routes() int { return l.count(obs.DecRoute) }
+
+func (l *Log) count(k obs.DecisionKind) int {
+	n := 0
+	for _, d := range l.Decisions {
+		if d.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package replay
+
+import (
+	"os"
+
+	"polca/internal/obs"
+)
+
+// SpanStats aggregates a recorded run's request spans into the per-request
+// scale factors the regret report uses: how much cap-induced slowdown and
+// TTFT the deployed run actually charged each request (PR 5's attribution),
+// against which a replay's estimated latency deltas can be read.
+type SpanStats struct {
+	// Requests counts root request spans (failover attempts folded: only
+	// the final attempt of each request id counts).
+	Requests int
+	// MeanTTFTSec is the mean recorded time-to-first-token.
+	MeanTTFTSec float64
+	// TotalCapSec is the recorded cap-attributed slowdown summed over
+	// requests; MeanCapSec is the per-request mean.
+	TotalCapSec float64
+	MeanCapSec  float64
+	// TotalEnergyJ is the recorded GPU energy summed over requests;
+	// MeanEnergyJ is the per-request mean.
+	TotalEnergyJ float64
+	MeanEnergyJ  float64
+}
+
+// LoadSpanStats streams a span trace (polca-sim -spans output) and folds
+// it into SpanStats. Only root request spans contribute; for failed-over
+// requests the highest-retry attempt wins, matching polca-analyze.
+func LoadSpanStats(path string) (*SpanStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type reqAgg struct {
+		retry   int32
+		ttft    float64
+		capSec  float64
+		energyJ float64
+	}
+	reqs := map[int64]reqAgg{}
+	err = obs.ScanSpans(f, nil, func(sp obs.Span) error {
+		if sp.Kind != obs.SpanRequest {
+			return nil
+		}
+		if prev, ok := reqs[sp.Req]; ok && prev.retry >= sp.Retry {
+			return nil
+		}
+		reqs[sp.Req] = reqAgg{retry: sp.Retry, ttft: sp.TTFTSec, capSec: sp.CapSec, energyJ: sp.EnergyJ}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := &SpanStats{Requests: len(reqs)}
+	for _, a := range reqs {
+		st.MeanTTFTSec += a.ttft
+		st.TotalCapSec += a.capSec
+		st.TotalEnergyJ += a.energyJ
+	}
+	if st.Requests > 0 {
+		n := float64(st.Requests)
+		st.MeanTTFTSec /= n
+		st.MeanCapSec = st.TotalCapSec / n
+		st.MeanEnergyJ = st.TotalEnergyJ / n
+	}
+	return st, nil
+}

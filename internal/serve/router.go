@@ -6,11 +6,24 @@ import (
 	"polca/internal/workload"
 )
 
-// Endpoint is one routable replica plus the row-level state the policies
-// need: the SM-clock lock currently applied to its server (0 = uncapped).
+// Endpoint is one routable replica plus the snapshot the policies decide
+// from: the sequences in flight (waiting plus running), the KV-cache
+// occupancy fraction, and the SM-clock lock currently applied to its
+// server (0 = uncapped). Routers read only the value fields — never Rep —
+// so a recorded snapshot can be replayed against any router offline with
+// Rep left nil; the live dispatch path fills the fields from Rep and keeps
+// Rep for the subsequent Enqueue.
 type Endpoint struct {
 	Rep       *Replica
+	Load      int
+	KVFrac    float64
 	CappedMHz float64
+}
+
+// Snapshot fills the decision fields from the live replica.
+func (e *Endpoint) Snapshot() {
+	e.Load = e.Rep.Load()
+	e.KVFrac = e.Rep.KVFrac()
 }
 
 // Router picks a replica for an arriving request. Implementations must be
@@ -68,7 +81,7 @@ func (leastQueue) Name() string { return "least-queue" }
 func (leastQueue) Pick(eps []Endpoint, _ workload.Request) int {
 	best := -1
 	for i := range eps {
-		if best < 0 || eps[i].Rep.Load() < eps[best].Rep.Load() {
+		if best < 0 || eps[i].Load < eps[best].Load {
 			best = i
 		}
 	}
@@ -85,7 +98,7 @@ func (leastKV) Name() string { return "least-kv" }
 func (leastKV) Pick(eps []Endpoint, _ workload.Request) int {
 	best := -1
 	for i := range eps {
-		if best < 0 || eps[i].Rep.KVFrac() < eps[best].Rep.KVFrac() {
+		if best < 0 || eps[i].KVFrac < eps[best].KVFrac {
 			best = i
 		}
 	}
@@ -110,7 +123,7 @@ func (powerAware) Pick(eps []Endpoint, req workload.Request) int {
 		switch {
 		case best < 0,
 			preferred && !bestPreferred,
-			preferred == bestPreferred && eps[i].Rep.Load() < eps[best].Rep.Load():
+			preferred == bestPreferred && eps[i].Load < eps[best].Load:
 			best, bestPreferred = i, preferred
 		}
 	}

@@ -20,8 +20,27 @@ func eps(reps ...*Replica) []Endpoint {
 	out := make([]Endpoint, len(reps))
 	for i, r := range reps {
 		out[i] = Endpoint{Rep: r}
+		out[i].Snapshot()
 	}
 	return out
+}
+
+// TestRoutersPickFromSnapshotOnly drives every router over endpoints with
+// nil Rep: policies must decide from the value fields alone, which is what
+// lets polca-replay re-route recorded candidate snapshots offline.
+func TestRoutersPickFromSnapshotOnly(t *testing.T) {
+	e := []Endpoint{
+		{Load: 3, KVFrac: 0.9},
+		{Load: 1, KVFrac: 0.1, CappedMHz: 1110},
+		{Load: 2, KVFrac: 0.5},
+	}
+	req := workload.Request{Priority: workload.Low, Session: 11}
+	for _, name := range RouterNames() {
+		rt, _ := NewRouter(name)
+		if got := rt.Pick(e, req); got < 0 || got >= len(e) {
+			t.Errorf("%s.Pick(snapshot) = %d, want a valid index", name, got)
+		}
+	}
 }
 
 func TestRouterNamesRoundTrip(t *testing.T) {
@@ -83,6 +102,9 @@ func TestPowerAwareSteering(t *testing.T) {
 		{Rep: fakeReplica(0, 0, 1)},
 		{Rep: fakeReplica(5, 0, 1), CappedMHz: 1200},
 		{Rep: fakeReplica(1, 0, 1), CappedMHz: 1200},
+	}
+	for i := range e {
+		e[i].Snapshot()
 	}
 	low := workload.Request{Priority: workload.Low}
 	high := workload.Request{Priority: workload.High}
